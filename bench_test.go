@@ -1,0 +1,379 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5) at bench scale, plus ablation benchmarks for the design choices
+// called out in DESIGN.md §4. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale experiment output (the paper-shaped tables) comes from
+// cmd/vbench; these benchmarks time the same code paths at a size that
+// keeps -bench runs minutes, not hours, and report domain metrics
+// (storage ratios, recreation ratios) via b.ReportMetric.
+package versiondb_test
+
+import (
+	"testing"
+
+	"versiondb/internal/bench"
+	"versiondb/internal/delta"
+	"versiondb/internal/graph"
+	"versiondb/internal/solve"
+	"versiondb/internal/workload"
+)
+
+// benchScale keeps one bench iteration well under a second.
+func benchScale() bench.Scale {
+	return bench.Scale{DC: 150, LC: 150, BF: 80, LF: 50, SweepPoints: 4, Seed: 1}
+}
+
+func BenchmarkFig12DatasetProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig12(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Report the paper's headline ratio on DC: MCA Σ-recreation vs
+			// the SPT minimum.
+			b.ReportMetric(rows[0].MCASumR/rows[0].SPTSumR, "DC-MCA/SPT-sumR")
+		}
+	}
+}
+
+func BenchmarkFig13DirectedSumRecreation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig13(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			sub := fig.Subplots[0] // DC
+			lmg := sub.Curves[0].Points
+			b.ReportMetric(lmg[0].SumR/lmg[len(lmg)-1].SumR, "DC-LMG-sumR-drop")
+		}
+	}
+}
+
+func BenchmarkFig14DirectedMaxRecreation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig14(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15Undirected(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig15(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16WorkloadAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.Fig16(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			gaps, err := bench.Fig16Gap(fig)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(gaps["DC"], "DC-plain/aware")
+		}
+	}
+}
+
+func BenchmarkFig17LMGRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig17(benchScale(), []int{40, 80}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ExactVsMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2([]int{15}, 3, 1, solve.ExactOptions{MaxNodes: 2_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[len(rows)-1].MPStorage/rows[len(rows)-1].ExactStorage, "MP/exact")
+		}
+	}
+}
+
+func BenchmarkSec52Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Sec52(25, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var svn, mca float64
+			for _, r := range rows {
+				switch r.System {
+				case "SVN (skip-deltas)":
+					svn = r.StoredBytes
+				case "MCA":
+					mca = r.StoredBytes
+				}
+			}
+			b.ReportMetric(svn/mca, "SVN/MCA")
+		}
+	}
+}
+
+// --- Core-solver microbenchmarks on the DC workload -------------------------
+
+func dcInstance(b *testing.B, n int, directed bool) *solve.Instance {
+	b.Helper()
+	m, err := workload.Build(workload.DC, n, directed, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := solve.NewInstance(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func BenchmarkMCADirected500(b *testing.B) {
+	inst := dcInstance(b, 500, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MinStorage(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPTDirected500(b *testing.B) {
+	inst := dcInstance(b, 500, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MinRecreation(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLMG500(b *testing.B) {
+	inst := dcInstance(b, 500, true)
+	mst, err := solve.MinStorage(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spt, err := solve.MinRecreation(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.LMG(inst, solve.LMGOptions{Budget: 3 * mst.Storage, MST: mst, SPT: spt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMP500(b *testing.B) {
+	inst := dcInstance(b, 500, true)
+	mst, err := solve.MinStorage(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.MP(inst, mst.MaxR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLAST500(b *testing.B) {
+	inst := dcInstance(b, 500, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.LAST(inst, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGitH500(b *testing.B) {
+	inst := dcInstance(b, 500, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.GitH(inst, solve.GitHOptions{Window: 10, MaxDepth: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ------------------------------------------------
+
+// Heap choice: Dijkstra over the DC augmented graph with binary vs pairing
+// heaps (the O(E log V) vs O(E + V log V) discussion of §3).
+func BenchmarkAblationHeapBinary(b *testing.B)  { benchHeap(b, graph.BinaryHeap) }
+func BenchmarkAblationHeapPairing(b *testing.B) { benchHeap(b, graph.PairingHeap) }
+
+func benchHeap(b *testing.B, kind graph.HeapKind) {
+	inst := dcInstance(b, 500, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.SPT(inst.G, solve.Root, graph.ByRecreate, kind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// LMG subtree maintenance: O(V²) incremental vs the naive O(V³) variant.
+func BenchmarkAblationLMGSubtreeFast(b *testing.B)  { benchLMGSubtree(b, false) }
+func BenchmarkAblationLMGSubtreeNaive(b *testing.B) { benchLMGSubtree(b, true) }
+
+func benchLMGSubtree(b *testing.B, naive bool) {
+	// LC's mostly-linear history yields deep storage trees, where the
+	// O(V²) incremental maintenance separates from the naive walk (on
+	// shallow DC trees the naive walk's smaller constants win).
+	m, err := workload.Build(workload.LC, 400, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := solve.NewInstance(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mst, err := solve.MinStorage(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spt, err := solve.MinRecreation(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := solve.LMG(inst, solve.LMGOptions{
+			Budget: 3 * mst.Storage, NaiveSubtree: naive, MST: mst, SPT: spt,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// GitH depth bias: with vs without the (d − depth) divisor of Appendix A.
+func BenchmarkAblationGitHDepthBias(b *testing.B)   { benchGitHBias(b, false) }
+func BenchmarkAblationGitHNoDepthBias(b *testing.B) { benchGitHBias(b, true) }
+
+func benchGitHBias(b *testing.B, noBias bool) {
+	inst := dcInstance(b, 500, true)
+	b.ResetTimer()
+	var maxR float64
+	for i := 0; i < b.N; i++ {
+		s, err := solve.GitH(inst, solve.GitHOptions{Window: 10, MaxDepth: 10, NoDepthBias: noBias})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxR = s.MaxR
+	}
+	b.ReportMetric(maxR, "maxR")
+}
+
+// Delta revelation radius: how the k-hop reveal rule affects the minimum
+// storage the MCA can find (more revealed deltas → more redundancy caught).
+func BenchmarkAblationReveal2Hop(b *testing.B)  { benchReveal(b, 2) }
+func BenchmarkAblationReveal5Hop(b *testing.B)  { benchReveal(b, 5) }
+func BenchmarkAblationReveal10Hop(b *testing.B) { benchReveal(b, 10) }
+
+func benchReveal(b *testing.B, hops int) {
+	vg, err := workload.Generate(workload.GraphParams{
+		Commits: 300, BranchInterval: 2, BranchProb: 0.9,
+		BranchLimit: 4, BranchLength: 3, MergeProb: 0.3, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var storage float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := vg.SynthCosts(workload.CostParams{
+			BaseSize: 350e3, SizeDrift: 0.02, EditFrac: 0.02, EditFracVar: 0.5,
+			RevealHops: hops, Directed: true, ReverseAsym: 1.4, Seed: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := solve.NewInstance(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := solve.MinStorage(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		storage = s.Storage
+	}
+	b.ReportMetric(storage/1e6, "MCA-MB")
+}
+
+// Delta mechanisms: line diff vs XOR vs compressed diff on real content
+// (the §2.1 delta-variant dimension).
+func contentPair(b *testing.B) ([]byte, []byte) {
+	b.Helper()
+	vg, err := workload.Generate(workload.GraphParams{Commits: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := vg.Materialize(workload.ContentParams{Rows: 500, Cols: 8, OpsPerEdge: 4, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.Payload[0], c.Payload[1]
+}
+
+func BenchmarkDeltaLineDiff(b *testing.B) {
+	a, c := contentPair(b)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		d := delta.DiffLines(a, c)
+		size = len(delta.Encode(d, true))
+	}
+	b.ReportMetric(float64(size), "delta-bytes")
+}
+
+func BenchmarkDeltaXOR(b *testing.B) {
+	a, c := contentPair(b)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		size = len(delta.XOR(a, c))
+	}
+	b.ReportMetric(float64(size), "delta-bytes")
+}
+
+func BenchmarkDeltaCompressedDiff(b *testing.B) {
+	a, c := contentPair(b)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		d := delta.DiffLines(a, c)
+		size = len(delta.Compress(delta.Encode(d, true)))
+	}
+	b.ReportMetric(float64(size), "delta-bytes")
+}
+
+func BenchmarkDeltaApplyEncoded(b *testing.B) {
+	a, c := contentPair(b)
+	enc := delta.Encode(delta.DiffLines(a, c), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := delta.ApplyEncoded(enc, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

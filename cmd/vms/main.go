@@ -1,0 +1,264 @@
+// Command vms is the client CLI of the prototype version management
+// system. It talks to a vmsd server (-server) or operates on a local
+// repository directory (-dir).
+//
+// Subcommands:
+//
+//	vms -dir D init
+//	vms -dir D commit  -branch B -file F -m MSG
+//	vms -dir D merge   -branch B -other N -file F -m MSG
+//	vms -dir D branch  -name B -from N
+//	vms -dir D checkout -v N [-out F]
+//	vms -dir D log
+//	vms -dir D stats
+//	vms -dir D optimize -objective min-storage|sum-recreation|max-recreation \
+//	                    [-budget-factor X] [-theta T] [-hops K] [-compress]
+//
+// Replace -dir D with -server URL to run against a vmsd instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/vcs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vms:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("vms", flag.ContinueOnError)
+	dir := global.String("dir", "", "local repository directory")
+	server := global.String("server", "", "vmsd server URL (e.g. http://localhost:7420)")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand (init, commit, merge, branch, checkout, log, stats, optimize)")
+	}
+	cmd, rest := rest[0], rest[1:]
+	if *server != "" {
+		return runRemote(vcs.NewClient(*server), cmd, rest)
+	}
+	if *dir == "" {
+		return fmt.Errorf("one of -dir or -server is required")
+	}
+	return runLocal(*dir, cmd, rest)
+}
+
+func runLocal(dir, cmd string, args []string) error {
+	if cmd == "init" {
+		if _, err := repo.Init(dir); err != nil {
+			return err
+		}
+		fmt.Println("initialized empty repository at", dir)
+		return nil
+	}
+	r, err := repo.Open(dir)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "commit", "merge":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		branch := fs.String("branch", repo.DefaultBranch, "branch")
+		file := fs.String("file", "", "payload file")
+		msg := fs.String("m", "", "commit message")
+		other := fs.Int("other", -1, "merge source version (merge only)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		payload, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		var id int
+		if cmd == "merge" {
+			id, err = r.Merge(*branch, *other, payload, *msg)
+		} else {
+			id, err = r.Commit(*branch, payload, *msg)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed version %d on %s\n", id, *branch)
+	case "branch":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		name := fs.String("name", "", "new branch name")
+		from := fs.Int("from", -1, "source version")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if err := r.Branch(*name, *from); err != nil {
+			return err
+		}
+		fmt.Printf("branch %s created at version %d\n", *name, *from)
+	case "checkout":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		v := fs.Int("v", -1, "version to check out")
+		out := fs.String("out", "", "output file (default stdout)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		payload, err := r.Checkout(*v)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			_, err = os.Stdout.Write(payload)
+			return err
+		}
+		return os.WriteFile(*out, payload, 0o644)
+	case "log":
+		printLog(r.Log())
+	case "repack":
+		path, err := r.Repack()
+		if err != nil {
+			return err
+		}
+		fmt.Println("packed loose objects into", path)
+	case "stats":
+		st := r.Stats()
+		fmt.Printf("versions:       %d\n", st.Versions)
+		fmt.Printf("branches:       %d\n", st.Branches)
+		fmt.Printf("materialized:   %d\n", st.Materialized)
+		fmt.Printf("stored bytes:   %d\n", st.StoredBytes)
+		fmt.Printf("logical bytes:  %d\n", st.LogicalBytes)
+		fmt.Printf("max chain hops: %d\n", st.MaxChainHops)
+	case "optimize":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		objective := fs.String("objective", "sum-recreation", "min-storage, sum-recreation or max-recreation")
+		bf := fs.Float64("budget-factor", 1.25, "LMG budget as a multiple of MCA storage")
+		theta := fs.Float64("theta", 0, "max recreation bound for max-recreation")
+		hops := fs.Int("hops", 5, "delta revelation radius")
+		compress := fs.Bool("compress", false, "compress stored blobs")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		opts := repo.OptimizeOptions{BudgetFactor: *bf, Theta: *theta, RevealHops: *hops, Compress: *compress}
+		switch *objective {
+		case "min-storage":
+			opts.Objective = repo.MinStorageObjective
+		case "sum-recreation":
+			opts.Objective = repo.SumRecreationObjective
+		case "max-recreation":
+			opts.Objective = repo.MaxRecreationObjective
+		default:
+			return fmt.Errorf("unknown objective %q", *objective)
+		}
+		sol, err := r.Optimize(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized with %s: storage=%.0f ΣR=%.0f maxR=%.0f\n",
+			sol.Algorithm, sol.Storage, sol.SumR, sol.MaxR)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	return nil
+}
+
+func runRemote(c *vcs.Client, cmd string, args []string) error {
+	switch cmd {
+	case "commit", "merge":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		branch := fs.String("branch", repo.DefaultBranch, "branch")
+		file := fs.String("file", "", "payload file")
+		msg := fs.String("m", "", "commit message")
+		other := fs.Int("other", -1, "merge source version (merge only)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		payload, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		var id int
+		if cmd == "merge" {
+			id, err = c.Merge(*branch, *other, payload, *msg)
+		} else {
+			id, err = c.Commit(*branch, payload, *msg)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed version %d on %s\n", id, *branch)
+	case "branch":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		name := fs.String("name", "", "new branch name")
+		from := fs.Int("from", -1, "source version")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		return c.Branch(*name, *from)
+	case "checkout":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		v := fs.Int("v", -1, "version to check out")
+		out := fs.String("out", "", "output file (default stdout)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		payload, err := c.Checkout(*v)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			_, err = os.Stdout.Write(payload)
+			return err
+		}
+		return os.WriteFile(*out, payload, 0o644)
+	case "log":
+		versions, err := c.Log()
+		if err != nil {
+			return err
+		}
+		printLog(versions)
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("versions=%d branches=%d materialized=%d stored=%d logical=%d maxChain=%d\n",
+			st.Versions, st.Branches, st.Materialized, st.StoredBytes, st.LogicalBytes, st.MaxChainHops)
+	case "optimize":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		objective := fs.String("objective", "sum-recreation", "min-storage, sum-recreation or max-recreation")
+		bf := fs.Float64("budget-factor", 1.25, "LMG budget multiple of MCA storage")
+		theta := fs.Float64("theta", 0, "max recreation bound")
+		hops := fs.Int("hops", 5, "delta revelation radius")
+		compress := fs.Bool("compress", false, "compress stored blobs")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		resp, err := c.Optimize(vcs.OptimizeRequest{
+			Objective: *objective, BudgetFactor: *bf, Theta: *theta,
+			RevealHops: *hops, Compress: *compress,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized with %s: storage=%.0f ΣR=%.0f maxR=%.0f stored=%d\n",
+			resp.Algorithm, resp.Storage, resp.SumR, resp.MaxR, resp.StoredBytes)
+	default:
+		return fmt.Errorf("unknown subcommand %q (remote)", cmd)
+	}
+	return nil
+}
+
+func printLog(versions []repo.VersionInfo) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "id\tbranch\tparents\tsize\tmessage")
+	for _, v := range versions {
+		fmt.Fprintf(tw, "%d\t%s\t%v\t%d\t%s\n", v.ID, v.Branch, v.Parents, v.Size, v.Message)
+	}
+	tw.Flush()
+}

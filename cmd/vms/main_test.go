@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/vcs"
+)
+
+// writeCSV drops a small payload file and returns its path.
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCLILocalWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	work := t.TempDir()
+	f1 := writeCSV(t, work, "v1.csv", "a,b\n1,2\n")
+	f2 := writeCSV(t, work, "v2.csv", "a,b\n1,2\n3,4\n")
+	out := filepath.Join(work, "out.csv")
+
+	steps := [][]string{
+		{"-dir", dir, "init"},
+		{"-dir", dir, "commit", "-file", f1, "-m", "first"},
+		{"-dir", dir, "commit", "-file", f2, "-m", "second"},
+		{"-dir", dir, "branch", "-name", "exp", "-from", "0"},
+		{"-dir", dir, "commit", "-branch", "exp", "-file", f2, "-m", "exp work"},
+		{"-dir", dir, "log"},
+		{"-dir", dir, "stats"},
+		{"-dir", dir, "optimize", "-objective", "sum-recreation", "-hops", "3"},
+		{"-dir", dir, "checkout", "-v", "1", "-out", out},
+		{"-dir", dir, "repack"},
+		{"-dir", dir, "checkout", "-v", "2", "-out", out},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("vms %v: %v", args, err)
+		}
+	}
+	got, err := os.ReadFile(out)
+	if err != nil || string(got) != "a,b\n1,2\n3,4\n" {
+		t.Errorf("checkout produced %q, %v", got, err)
+	}
+	// Merge via CLI.
+	if err := run([]string{"-dir", dir, "merge", "-branch", "master", "-other", "2", "-file", f2, "-m", "merge exp"}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, args := range map[string][]string{
+		"no subcommand":    {"-dir", dir},
+		"no dir or server": {"log"},
+		"unknown cmd":      {"-dir", dir, "frobnicate"},
+		"open missing":     {"-dir", filepath.Join(dir, "nope"), "log"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: no error for %v", name, args)
+		}
+	}
+	// Bad objective after init.
+	if err := run([]string{"-dir", dir, "init"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir, "optimize", "-objective", "bogus"}); err == nil {
+		t.Errorf("bogus objective accepted")
+	}
+}
+
+func TestCLIRemoteWorkflow(t *testing.T) {
+	repoDir := t.TempDir()
+	r, err := repo.Init(repoDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(vcs.NewServer(r).Handler())
+	defer srv.Close()
+	work := t.TempDir()
+	f1 := writeCSV(t, work, "v1.csv", "x,y\n9,8\n")
+	out := filepath.Join(work, "back.csv")
+
+	steps := [][]string{
+		{"-server", srv.URL, "commit", "-file", f1, "-m", "root"},
+		{"-server", srv.URL, "branch", "-name", "b1", "-from", "0"},
+		{"-server", srv.URL, "commit", "-branch", "b1", "-file", f1, "-m", "again"},
+		{"-server", srv.URL, "log"},
+		{"-server", srv.URL, "stats"},
+		{"-server", srv.URL, "optimize", "-objective", "min-storage", "-hops", "2"},
+		{"-server", srv.URL, "checkout", "-v", "0", "-out", out},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("vms %v: %v", args, err)
+		}
+	}
+	got, err := os.ReadFile(out)
+	if err != nil || string(got) != "x,y\n9,8\n" {
+		t.Errorf("remote checkout produced %q, %v", got, err)
+	}
+	if err := run([]string{"-server", srv.URL, "merge", "-branch", "master", "-other", "1", "-file", f1, "-m", "m"}); err != nil {
+		t.Fatalf("remote merge: %v", err)
+	}
+	if err := run([]string{"-server", srv.URL, "frobnicate"}); err == nil {
+		t.Errorf("unknown remote subcommand accepted")
+	}
+}

@@ -1,0 +1,42 @@
+// Command vmsd serves a dataset repository over HTTP — the server half of
+// the paper's prototype version management system.
+//
+// Usage:
+//
+//	vmsd -dir /path/to/repo [-addr :7420] [-init]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/vcs"
+)
+
+func main() {
+	dir := flag.String("dir", "", "repository directory (required)")
+	addr := flag.String("addr", ":7420", "listen address")
+	doInit := flag.Bool("init", false, "initialize a fresh repository at -dir")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("vmsd: -dir is required")
+	}
+	var (
+		r   *repo.Repo
+		err error
+	)
+	if *doInit {
+		r, err = repo.Init(*dir)
+	} else {
+		r, err = repo.Open(*dir)
+	}
+	if err != nil {
+		log.Fatalf("vmsd: %v", err)
+	}
+	srv := vcs.NewServer(r)
+	fmt.Printf("vmsd: serving %s on %s (%d versions)\n", *dir, *addr, r.NumVersions())
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

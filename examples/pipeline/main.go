@@ -1,0 +1,76 @@
+// Pipeline scenario (paper §1, first motivating example): intermediate
+// result datasets of analysis pipelines are near-duplicates of each other.
+// Some versions can be recreated by re-running a small derivation script —
+// a delta whose storage cost Δ is tiny but whose recreation cost Φ is the
+// script's runtime, the directed Φ ≠ Δ regime of Table 1's last column.
+// The pipeline has a retrieval SLA, so storage is minimized with MP under
+// a bound on the maximum recreation cost (Problem 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versiondb"
+)
+
+func main() {
+	const n = 12 // pipeline stages/variants
+	m := versiondb.NewMatrix(n, true)
+
+	// Version 0: the raw input (1 GB-equivalent units). Retrieval cost of a
+	// materialized version equals its size.
+	sizes := make([]float64, n)
+	sizes[0] = 1000
+	for i := 1; i < n; i++ {
+		sizes[i] = 900 + 25*float64(i%4) // transformed outputs, similar sizes
+	}
+	for i := 0; i < n; i++ {
+		m.SetFull(i, sizes[i], sizes[i])
+	}
+	// Each stage i>0 derives from stage i-1 two ways:
+	//  - a stored diff: Δ=80, Φ=80 (proportional)
+	//  - a derivation script: Δ=2 (a query), Φ=600 (recompute time)
+	// We reveal the cheaper-Δ script delta; the solver must respect Φ.
+	for i := 1; i < n; i++ {
+		if i%3 == 0 {
+			m.SetDelta(i-1, i, 80, 80) // materialized diff available
+		} else {
+			m.SetDelta(i-1, i, 2, 600) // "SQL query that generates Vi from Vj"
+		}
+		if i >= 2 {
+			m.SetDelta(i-2, i, 120, 150) // two-step diffs also revealed
+		}
+	}
+
+	inst, err := versiondb.NewInstance(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	minStorage, err := versiondb.MinStorage(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min storage (no SLA):    storage=%6.0f  maxR=%6.0f  — scripts everywhere, slow retrieval\n",
+		minStorage.Storage, minStorage.MaxR)
+
+	// SLA: any intermediate dataset must be recreatable within 1800 units.
+	for _, sla := range []float64{4000, 2500, 1800, 1200} {
+		sol, err := versiondb.MP(inst, sla)
+		if err != nil {
+			fmt.Printf("SLA θ=%4.0f: infeasible (%v)\n", sla, err)
+			continue
+		}
+		fmt.Printf("SLA θ=%4.0f: MP storage=%6.0f  maxR=%6.0f  materialized=%d versions\n",
+			sla, sol.Storage, sol.MaxR, len(sol.Tree.MaterializedSet()))
+	}
+
+	// Compare with the storage-budget view (Problem 4): what is the best
+	// worst-case latency we can buy with 1.5× the minimum storage?
+	sol4, err := versiondb.Problem4(inst, minStorage.Storage*1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget 1.5×min (%6.0f): best maxR=%6.0f\n", minStorage.Storage*1.5, sol4.MaxR)
+}

@@ -1,0 +1,81 @@
+// Quickstart: the paper's running example (Figures 1–4) end to end.
+//
+// Builds the five-version cost matrices of Figure 2, then solves all six
+// problem variants of Table 1 and prints the storage graph each one picks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versiondb"
+)
+
+func main() {
+	// Versions V1..V5 are indices 0..4. Vertex annotations ⟨Δii, Φii⟩ and
+	// edge annotations ⟨Δij, Φij⟩ from the paper's Figure 2.
+	m := versiondb.NewMatrix(5, true)
+	m.SetFull(0, 10000, 10000) // V1
+	m.SetFull(1, 10100, 10100) // V2
+	m.SetFull(2, 9700, 9700)   // V3
+	m.SetFull(3, 9800, 9800)   // V4
+	m.SetFull(4, 10120, 10120) // V5
+	m.SetDelta(0, 1, 200, 200)
+	m.SetDelta(0, 2, 1000, 3000)
+	m.SetDelta(1, 0, 500, 600)
+	m.SetDelta(1, 3, 50, 400)
+	m.SetDelta(1, 4, 800, 2500)
+	m.SetDelta(2, 1, 1100, 3200)
+	m.SetDelta(2, 4, 200, 550)
+	m.SetDelta(3, 4, 900, 2500)
+	m.SetDelta(4, 3, 800, 2300)
+
+	inst, err := versiondb.NewInstance(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(name string, s *versiondb.Solution, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-34s storage=%6.0f  ΣR=%6.0f  maxR=%6.0f  materialized=%s\n",
+			name, s.Storage, s.SumR, s.MaxR, describe(s))
+	}
+
+	fmt.Println("Paper running example (5 versions):")
+	s1, err := versiondb.MinStorage(inst)
+	show("Problem 1  MinStorage (MCA)", s1, err)
+	s2, err := versiondb.MinRecreation(inst)
+	show("Problem 2  MinRecreation (SPT)", s2, err)
+	budget := s1.Storage * 1.8
+	s3, err := versiondb.LMG(inst, versiondb.LMGOptions{Budget: budget})
+	show(fmt.Sprintf("Problem 3  LMG (β=%.0f)", budget), s3, err)
+	s4, err := versiondb.Problem4(inst, budget)
+	show(fmt.Sprintf("Problem 4  MP-search (β=%.0f)", budget), s4, err)
+	s5, err := versiondb.Problem5(inst, s2.SumR*1.02)
+	show("Problem 5  LMG-search (θ=1.02·min)", s5, err)
+	s6, err := versiondb.MP(inst, 10600)
+	show("Problem 6  MP (θ=10600)", s6, err)
+
+	// The exact reference solver agrees with MP here.
+	ex, err := versiondb.Exact(inst, 10600, versiondb.ExactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s storage=%6.0f  (optimal=%v, %d nodes)\n",
+		"Exact B&B   (θ=10600)", ex.Solution.Storage, ex.Optimal, ex.Nodes)
+}
+
+// describe lists which versions a solution materializes, V1-based like the
+// paper's figures.
+func describe(s *versiondb.Solution) string {
+	out := ""
+	for _, v := range s.Tree.MaterializedSet() {
+		if out != "" {
+			out += ","
+		}
+		out += fmt.Sprintf("V%d", v) // vertex v is version v-1, i.e. paper's V_v
+	}
+	return "{" + out + "}"
+}

@@ -1,0 +1,169 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5) at reproduction scale: Figure 12's dataset-property
+// table, the Figure 13–15 storage/recreation tradeoff curves, Figure 16's
+// workload-aware comparison, Figure 17's running-time scaling, Table 2's
+// exact-vs-MP comparison, and the §5.2 SVN/Git/gzip storage comparison.
+//
+// Runners return structured Figure values; Format renders them as aligned
+// text tables that cmd/vbench and the root benchmarks print.
+package bench
+
+import (
+	"fmt"
+
+	"versiondb/internal/costs"
+	"versiondb/internal/solve"
+	"versiondb/internal/workload"
+)
+
+// Scale sets the dataset sizes used by the runners. The zero value is
+// replaced by DefaultScale.
+type Scale struct {
+	DC, LC, BF, LF int
+	SweepPoints    int // points per tradeoff curve
+	Seed           int64
+}
+
+// DefaultScale is the laptop-scale default: the paper's relative ordering
+// of dataset sizes at ~1/100 of its version counts.
+func DefaultScale() Scale {
+	return Scale{DC: 1000, LC: 1000, BF: 400, LF: 100, SweepPoints: 8, Seed: 1}
+}
+
+// TestScale is a fast configuration for unit tests and -short benchmarks.
+func TestScale() Scale {
+	return Scale{DC: 120, LC: 120, BF: 60, LF: 40, SweepPoints: 4, Seed: 1}
+}
+
+func (s Scale) orDefault() Scale {
+	d := DefaultScale()
+	if s.DC <= 0 {
+		s.DC = d.DC
+	}
+	if s.LC <= 0 {
+		s.LC = d.LC
+	}
+	if s.BF <= 0 {
+		s.BF = d.BF
+	}
+	if s.LF <= 0 {
+		s.LF = d.LF
+	}
+	if s.SweepPoints <= 0 {
+		s.SweepPoints = d.SweepPoints
+	}
+	if s.Seed == 0 {
+		s.Seed = d.Seed
+	}
+	return s
+}
+
+func (s Scale) of(p workload.Preset) int {
+	switch p {
+	case workload.DC:
+		return s.DC
+	case workload.LC:
+		return s.LC
+	case workload.BF:
+		return s.BF
+	default:
+		return s.LF
+	}
+}
+
+// Point is one solution on a tradeoff curve.
+type Point struct {
+	Param   float64 // the algorithm knob that produced it
+	Storage float64
+	SumR    float64
+	MaxR    float64
+	Seconds float64
+}
+
+// Curve is one algorithm's series.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// Subplot is one panel of a figure: a dataset with several curves plus the
+// MCA/SPT reference lines the paper draws as dashed guides.
+type Subplot struct {
+	Title      string
+	MinStorage float64 // MCA total storage (vertical guide)
+	MinSumR    float64 // SPT Σ recreation (horizontal guide)
+	MinMaxR    float64 // SPT max recreation
+	Curves     []Curve
+	Notes      []string
+}
+
+// Figure is a regenerated paper artifact.
+type Figure struct {
+	ID       string
+	Title    string
+	Subplots []Subplot
+}
+
+// Dataset is a named solver instance.
+type Dataset struct {
+	Name string
+	Inst *solve.Instance
+}
+
+// BuildDataset constructs one preset instance.
+func BuildDataset(p workload.Preset, n int, directed bool, seed int64) (Dataset, error) {
+	m, err := workload.Build(p, n, directed, seed)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("bench: build %s: %w", p, err)
+	}
+	inst, err := solve.NewInstance(m)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("bench: build %s: %w", p, err)
+	}
+	return Dataset{Name: string(p), Inst: inst}, nil
+}
+
+// BuildAll constructs the four presets.
+func BuildAll(s Scale, directed bool) ([]Dataset, error) {
+	s = s.orDefault()
+	out := make([]Dataset, 0, len(workload.Presets))
+	for _, p := range workload.Presets {
+		d, err := BuildDataset(p, s.of(p), directed, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func toPoint(s *solve.Solution) Point {
+	return Point{
+		Param:   s.Param,
+		Storage: s.Storage,
+		SumR:    s.SumR,
+		MaxR:    s.MaxR,
+		Seconds: s.Elapsed.Seconds(),
+	}
+}
+
+func toCurve(name string, sols []*solve.Solution) Curve {
+	c := Curve{Name: name, Points: make([]Point, 0, len(sols))}
+	for _, s := range sols {
+		c.Points = append(c.Points, toPoint(s))
+	}
+	return c
+}
+
+// matrixStats summarizes a cost matrix for Figure 12.
+func matrixStats(m *costs.Matrix) (versions, deltas int, avgSize float64) {
+	versions = m.N()
+	deltas = m.NumDeltas()
+	if m.Directed() {
+		// NumDeltas counts ordered entries already.
+	} else {
+		deltas *= 2 // paper counts both directions of symmetric deltas
+	}
+	avgSize = m.AverageFullStorage()
+	return versions, deltas, avgSize
+}

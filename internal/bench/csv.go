@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFigureCSV emits a tradeoff figure in long form for external
+// plotting: one row per solution point.
+func WriteFigureCSV(w io.Writer, fig *Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "dataset", "algorithm", "param", "storage", "sum_recreation", "max_recreation", "seconds"}); err != nil {
+		return fmt.Errorf("bench: csv: %w", err)
+	}
+	for _, sub := range fig.Subplots {
+		for _, c := range sub.Curves {
+			for _, p := range c.Points {
+				rec := []string{
+					fig.ID, sub.Title, c.Name,
+					f(p.Param), f(p.Storage), f(p.SumR), f(p.MaxR), f(p.Seconds),
+				}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("bench: csv: %w", err)
+				}
+			}
+		}
+		// Reference lines as pseudo-algorithms.
+		if sub.MinStorage > 0 {
+			if err := cw.Write([]string{fig.ID, sub.Title, "ref-min-storage", "", f(sub.MinStorage), "", "", ""}); err != nil {
+				return fmt.Errorf("bench: csv: %w", err)
+			}
+		}
+		if sub.MinSumR > 0 {
+			if err := cw.Write([]string{fig.ID, sub.Title, "ref-min-sumR", "", "", f(sub.MinSumR), f(sub.MinMaxR), ""}); err != nil {
+				return fmt.Errorf("bench: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig12CSV emits the dataset-property table.
+func WriteFig12CSV(w io.Writer, rows []DatasetProperties) error {
+	cw := csv.NewWriter(w)
+	header := []string{"dataset", "versions", "deltas", "avg_version_size",
+		"mca_storage", "mca_sum_recreation", "mca_max_recreation",
+		"spt_storage", "spt_sum_recreation", "spt_max_recreation",
+		"delta_p25", "delta_p50", "delta_p75"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("bench: csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name, strconv.Itoa(r.Versions), strconv.Itoa(r.Deltas), f(r.AvgVersionSize),
+			f(r.MCAStorage), f(r.MCASumR), f(r.MCAMaxR),
+			f(r.SPTStorage), f(r.SPTSumR), f(r.SPTMaxR),
+			f(r.DeltaQuartiles[1]), f(r.DeltaQuartiles[2]), f(r.DeltaQuartiles[3]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV emits the exact-vs-MP comparison.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "theta", "exact_storage", "mp_storage", "optimal", "nodes"}); err != nil {
+		return fmt.Errorf("bench: csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{r.Dataset, f(r.Theta), f(r.ExactStorage), f(r.MPStorage),
+			strconv.FormatBool(r.ExactOptimal), strconv.FormatInt(r.Nodes, 10)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig17CSV emits the running-time table.
+func WriteFig17CSV(w io.Writer, rows []RuntimePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "directed", "versions", "lmg_seconds", "total_seconds", "repeats"}); err != nil {
+		return fmt.Errorf("bench: csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{r.Dataset, strconv.FormatBool(r.Directed), strconv.Itoa(r.Versions),
+			f(r.LMGSec), f(r.TotalSec), strconv.Itoa(r.Repeats)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"versiondb/internal/costs"
+	"versiondb/internal/solve"
+)
+
+// DatasetProperties is one row of the Figure 12 table.
+type DatasetProperties struct {
+	Name           string
+	Versions       int
+	Deltas         int
+	AvgVersionSize float64
+	MCAStorage     float64
+	MCASumR        float64
+	MCAMaxR        float64
+	SPTStorage     float64
+	SPTSumR        float64
+	SPTMaxR        float64
+	// Normalized delta-size distribution (delta ÷ average version size),
+	// the right-hand box plot of Figure 12.
+	DeltaQuartiles [5]float64 // min, p25, p50, p75, max
+}
+
+// Fig12 regenerates the Figure 12 dataset-property table over the four
+// directed datasets: per dataset the version/delta counts, average version
+// size, and the storage / Σ-recreation / max-recreation costs of the two
+// extreme solutions (MCA and SPT).
+func Fig12(s Scale) ([]DatasetProperties, error) {
+	s = s.orDefault()
+	datasets, err := BuildAll(s, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DatasetProperties, 0, len(datasets))
+	for _, d := range datasets {
+		row, err := datasetProperties(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func datasetProperties(d Dataset) (DatasetProperties, error) {
+	var row DatasetProperties
+	row.Name = d.Name
+	row.Versions, row.Deltas, row.AvgVersionSize = matrixStats(d.Inst.M)
+	mca, err := solve.MinStorage(d.Inst)
+	if err != nil {
+		return row, fmt.Errorf("bench: fig12 %s: %w", d.Name, err)
+	}
+	spt, err := solve.MinRecreation(d.Inst)
+	if err != nil {
+		return row, fmt.Errorf("bench: fig12 %s: %w", d.Name, err)
+	}
+	row.MCAStorage, row.MCASumR, row.MCAMaxR = mca.Storage, mca.SumR, mca.MaxR
+	row.SPTStorage, row.SPTSumR, row.SPTMaxR = spt.Storage, spt.SumR, spt.MaxR
+	row.DeltaQuartiles = deltaQuartiles(d.Inst.M, row.AvgVersionSize)
+	return row, nil
+}
+
+func deltaQuartiles(m *costs.Matrix, avgSize float64) [5]float64 {
+	var sizes []float64
+	m.EachDelta(func(_, _ int, p costs.Pair) {
+		sizes = append(sizes, p.Storage/math.Max(avgSize, 1))
+	})
+	sort.Float64s(sizes)
+	var q [5]float64
+	if len(sizes) == 0 {
+		return q
+	}
+	at := func(f float64) float64 {
+		i := int(f * float64(len(sizes)-1))
+		return sizes[i]
+	}
+	q[0], q[1], q[2], q[3], q[4] = at(0), at(0.25), at(0.5), at(0.75), at(1)
+	return q
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatFigure renders a tradeoff figure as aligned text tables, one per
+// subplot, with the MCA/SPT reference lines the paper draws as dashed
+// guides.
+func FormatFigure(w io.Writer, fig *Figure) {
+	fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title)
+	for _, sub := range fig.Subplots {
+		fmt.Fprintf(w, "\n-- Dataset %s --\n", sub.Title)
+		if sub.MinStorage > 0 {
+			fmt.Fprintf(w, "   min storage (MCA/MST): %s\n", human(sub.MinStorage))
+		}
+		if sub.MinSumR > 0 {
+			fmt.Fprintf(w, "   min Σ recreation (SPT): %s\n", human(sub.MinSumR))
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "algorithm\tparam\tstorage\tΣ recreation\tmax recreation\tsec")
+		for _, c := range sub.Curves {
+			for _, p := range c.Points {
+				fmt.Fprintf(tw, "%s\t%.4g\t%s\t%s\t%s\t%.3f\n",
+					c.Name, p.Param, human(p.Storage), human(p.SumR), human(p.MaxR), p.Seconds)
+			}
+		}
+		tw.Flush()
+		for _, n := range sub.Notes {
+			fmt.Fprintf(w, "   note: %s\n", n)
+		}
+	}
+}
+
+// FormatFig12 renders the dataset-property table.
+func FormatFig12(w io.Writer, rows []DatasetProperties) {
+	fmt.Fprintln(w, "== fig12: Dataset properties and delta distribution ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "property\t"+strings.Join(names(rows), "\t"))
+	put := func(label string, f func(DatasetProperties) string) {
+		cells := make([]string, len(rows))
+		for i, r := range rows {
+			cells[i] = f(r)
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", label, strings.Join(cells, "\t"))
+	}
+	put("versions", func(r DatasetProperties) string { return fmt.Sprintf("%d", r.Versions) })
+	put("deltas", func(r DatasetProperties) string { return fmt.Sprintf("%d", r.Deltas) })
+	put("avg version size", func(r DatasetProperties) string { return human(r.AvgVersionSize) })
+	put("MCA storage", func(r DatasetProperties) string { return human(r.MCAStorage) })
+	put("MCA Σ recreation", func(r DatasetProperties) string { return human(r.MCASumR) })
+	put("MCA max recreation", func(r DatasetProperties) string { return human(r.MCAMaxR) })
+	put("SPT storage", func(r DatasetProperties) string { return human(r.SPTStorage) })
+	put("SPT Σ recreation", func(r DatasetProperties) string { return human(r.SPTSumR) })
+	put("SPT max recreation", func(r DatasetProperties) string { return human(r.SPTMaxR) })
+	put("delta/avg (p25/p50/p75)", func(r DatasetProperties) string {
+		return fmt.Sprintf("%.3f/%.3f/%.3f", r.DeltaQuartiles[1], r.DeltaQuartiles[2], r.DeltaQuartiles[3])
+	})
+	tw.Flush()
+}
+
+func names(rows []DatasetProperties) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// FormatTable2 renders the exact-vs-MP comparison.
+func FormatTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "== table2: exact (B&B, stands in for ILP) vs MP, storage given θ ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tθ\texact storage\tMP storage\tMP/exact\toptimal\tnodes")
+	for _, r := range rows {
+		ratio := r.MPStorage / r.ExactStorage
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.3f\t%v\t%d\n",
+			r.Dataset, human(r.Theta), human(r.ExactStorage), human(r.MPStorage), ratio, r.ExactOptimal, r.Nodes)
+	}
+	tw.Flush()
+}
+
+// FormatSec52 renders the storage-strategy comparison.
+func FormatSec52(w io.Writer, rows []Sec52Row) {
+	fmt.Fprintln(w, "== sec5.2: storage strategies on an LF-style content workload ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "system\tstored bytes\tnote")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", r.System, human(r.StoredBytes), r.Note)
+	}
+	tw.Flush()
+}
+
+// FormatFig17 renders the running-time table.
+func FormatFig17(w io.Writer, rows []RuntimePoint) {
+	fmt.Fprintln(w, "== fig17: LMG running time vs number of versions ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tdirected\tversions\tLMG sec\ttotal sec\trepeats")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%.4f\t%.4f\t%d\n",
+			r.Dataset, r.Directed, r.Versions, r.LMGSec, r.TotalSec, r.Repeats)
+	}
+	tw.Flush()
+}
+
+// human renders a byte-like quantity with SI-ish suffixes (the matrices are
+// in bytes at reproduction scale).
+func human(v float64) string {
+	switch {
+	case v >= 1e12:
+		return fmt.Sprintf("%.3gTB", v/1e12)
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gGB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gMB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gKB", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

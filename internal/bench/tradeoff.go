@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+
+	"versiondb/internal/solve"
+	"versiondb/internal/workload"
+)
+
+// tradeoffSubplot sweeps the requested algorithms on one dataset, producing
+// the (storage, Σ recreation, max recreation) curves of Figures 13–15.
+func tradeoffSubplot(d Dataset, algs []string, points int) (Subplot, error) {
+	sub := Subplot{Title: d.Name}
+	mca, err := solve.MinStorage(d.Inst)
+	if err != nil {
+		return sub, fmt.Errorf("bench: %s: %w", d.Name, err)
+	}
+	spt, err := solve.MinRecreation(d.Inst)
+	if err != nil {
+		return sub, fmt.Errorf("bench: %s: %w", d.Name, err)
+	}
+	sub.MinStorage = mca.Storage
+	sub.MinSumR = spt.SumR
+	sub.MinMaxR = spt.MaxR
+	for _, alg := range algs {
+		var sols []*solve.Solution
+		switch alg {
+		case "LMG":
+			budgets, err := solve.Budgets(d.Inst, points)
+			if err != nil {
+				return sub, err
+			}
+			if sols, err = solve.SweepLMG(d.Inst, budgets, nil); err != nil {
+				return sub, fmt.Errorf("bench: %s LMG: %w", d.Name, err)
+			}
+		case "MP":
+			thetas, err := solve.Thetas(d.Inst, points)
+			if err != nil {
+				return sub, err
+			}
+			if sols, err = solve.SweepMP(d.Inst, thetas); err != nil {
+				return sub, fmt.Errorf("bench: %s MP: %w", d.Name, err)
+			}
+		case "LAST":
+			alphas := interpolate(1.1, 8, points)
+			if sols, err = solve.SweepLAST(d.Inst, alphas); err != nil {
+				return sub, fmt.Errorf("bench: %s LAST: %w", d.Name, err)
+			}
+		case "GitH":
+			// The paper ran BF with windows 50/25/20/10 at depth 10 and the
+			// others with unbounded windows over the revealed deltas.
+			cfgs := []solve.GitHOptions{
+				{Window: 10, MaxDepth: 10},
+				{Window: 20, MaxDepth: 10},
+				{Window: 50, MaxDepth: 50},
+				{Window: d.Inst.M.N(), MaxDepth: 50},
+			}
+			if sols, err = solve.SweepGitH(d.Inst, cfgs[:min(points, len(cfgs))]); err != nil {
+				return sub, fmt.Errorf("bench: %s GitH: %w", d.Name, err)
+			}
+		default:
+			return sub, fmt.Errorf("bench: unknown algorithm %q", alg)
+		}
+		sub.Curves = append(sub.Curves, toCurve(alg, sols))
+	}
+	return sub, nil
+}
+
+func interpolate(lo, hi float64, k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(max(k-1, 1))
+	}
+	return out
+}
+
+// Fig13 regenerates Figure 13: directed datasets, storage cost vs the sum
+// of recreation costs, for LMG, MP, LAST and GitH over DC, LC, BF and LF.
+func Fig13(s Scale) (*Figure, error) {
+	s = s.orDefault()
+	datasets, err := BuildAll(s, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "fig13", Title: "Directed: storage vs Σ recreation (LMG, MP, LAST, GitH)"}
+	for _, d := range datasets {
+		sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST", "GitH"}, s.SweepPoints)
+		if err != nil {
+			return nil, err
+		}
+		fig.Subplots = append(fig.Subplots, sub)
+	}
+	return fig, nil
+}
+
+// Fig14 regenerates Figure 14: directed DC and LF, storage cost vs the max
+// recreation cost, for LMG, MP and LAST.
+func Fig14(s Scale) (*Figure, error) {
+	s = s.orDefault()
+	fig := &Figure{ID: "fig14", Title: "Directed: storage vs max recreation (LMG, MP, LAST)"}
+	for _, p := range []workload.Preset{workload.DC, workload.LF} {
+		d, err := BuildDataset(p, s.of(p), true, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST"}, s.SweepPoints)
+		if err != nil {
+			return nil, err
+		}
+		fig.Subplots = append(fig.Subplots, sub)
+	}
+	return fig, nil
+}
+
+// Fig15 regenerates Figure 15: undirected DC, LC and BF storage vs Σ
+// recreation (a–c) plus undirected DC storage vs max recreation (d).
+func Fig15(s Scale) (*Figure, error) {
+	s = s.orDefault()
+	fig := &Figure{ID: "fig15", Title: "Undirected: storage vs Σ recreation (a–c) and max recreation (d)"}
+	for _, p := range []workload.Preset{workload.DC, workload.LC, workload.BF} {
+		d, err := BuildDataset(p, s.of(p), false, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST"}, s.SweepPoints)
+		if err != nil {
+			return nil, err
+		}
+		fig.Subplots = append(fig.Subplots, sub)
+	}
+	// Panel (d): DC undirected, read the MaxR column of the same sweeps.
+	d, err := BuildDataset(workload.DC, s.of(workload.DC), false, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST"}, s.SweepPoints)
+	if err != nil {
+		return nil, err
+	}
+	sub.Title = "DC (max recreation panel)"
+	sub.Notes = append(sub.Notes, "read MaxR column: Figure 15(d)")
+	fig.Subplots = append(fig.Subplots, sub)
+	return fig, nil
+}

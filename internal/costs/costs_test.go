@@ -1,0 +1,238 @@
+package costs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetFull(t *testing.T) {
+	m := NewMatrix(3, true)
+	if _, ok := m.Full(0); ok {
+		t.Errorf("unset full cost reported as set")
+	}
+	m.SetFull(0, 100, 150)
+	p, ok := m.Full(0)
+	if !ok || p.Storage != 100 || p.Recreate != 150 {
+		t.Errorf("Full(0) = %+v,%v", p, ok)
+	}
+}
+
+func TestSetGetDeltaDirected(t *testing.T) {
+	m := NewMatrix(3, true)
+	m.SetDelta(0, 1, 10, 20)
+	if _, ok := m.Delta(1, 0); ok {
+		t.Errorf("directed matrix returned reverse delta")
+	}
+	p, ok := m.Delta(0, 1)
+	if !ok || p.Storage != 10 || p.Recreate != 20 {
+		t.Errorf("Delta(0,1) = %+v,%v", p, ok)
+	}
+	if m.NumDeltas() != 1 {
+		t.Errorf("NumDeltas = %d", m.NumDeltas())
+	}
+}
+
+func TestSetGetDeltaUndirected(t *testing.T) {
+	m := NewMatrix(3, false)
+	m.SetDelta(2, 1, 10, 20)
+	for _, pair := range [][2]int{{1, 2}, {2, 1}} {
+		p, ok := m.Delta(pair[0], pair[1])
+		if !ok || p.Storage != 10 {
+			t.Errorf("Delta(%d,%d) = %+v,%v", pair[0], pair[1], p, ok)
+		}
+	}
+	// Overwriting through the other orientation hits the same entry.
+	m.SetDelta(1, 2, 30, 30)
+	if m.NumDeltas() != 1 {
+		t.Errorf("NumDeltas = %d, want 1", m.NumDeltas())
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	m := NewMatrix(2, true)
+	for name, fn := range map[string]func(){
+		"diagonal delta":  func() { m.SetDelta(1, 1, 1, 1) },
+		"negative full":   func() { m.SetFull(0, -1, 1) },
+		"negative delta":  func() { m.SetDelta(0, 1, -1, 1) },
+		"index too large": func() { m.SetFull(5, 1, 1) },
+		"index negative":  func() { m.Delta(-1, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestAugment(t *testing.T) {
+	m := NewMatrix(2, true)
+	m.SetFull(0, 100, 100)
+	m.SetFull(1, 120, 120)
+	m.SetDelta(0, 1, 30, 40)
+	g, err := m.Augment()
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	if g.N() != 3 || !g.Directed() {
+		t.Fatalf("augmented graph N=%d directed=%v", g.N(), g.Directed())
+	}
+	// Root has materialization edges to both versions.
+	if len(g.Out(0)) != 2 {
+		t.Errorf("root out-degree %d, want 2", len(g.Out(0)))
+	}
+	var found bool
+	for _, e := range g.Out(1) { // vertex 1 = version 0
+		if e.To == 2 && e.Storage == 30 && e.Recreate == 40 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("delta edge missing from augmented graph")
+	}
+}
+
+func TestAugmentRequiresFullCosts(t *testing.T) {
+	m := NewMatrix(2, true)
+	m.SetFull(0, 100, 100)
+	if _, err := m.Augment(); err == nil {
+		t.Errorf("Augment without all diagonals succeeded")
+	}
+}
+
+func TestProportional(t *testing.T) {
+	m := NewMatrix(2, true)
+	m.SetFull(0, 100, 200)
+	m.SetFull(1, 50, 100)
+	m.SetDelta(0, 1, 10, 20)
+	c, ok := m.Proportional(1e-9)
+	if !ok || c != 2 {
+		t.Errorf("Proportional = %g,%v, want 2,true", c, ok)
+	}
+	m.SetDelta(1, 0, 10, 99)
+	if _, ok := m.Proportional(1e-9); ok {
+		t.Errorf("non-proportional matrix reported proportional")
+	}
+}
+
+func TestCheckTriangleDiagonal(t *testing.T) {
+	m := NewMatrix(2, false)
+	m.SetFull(0, 100, 100)
+	m.SetFull(1, 300, 300)
+	m.SetDelta(0, 1, 10, 10) // 300 > 100 + 10: impossible delta
+	v := m.CheckTriangle(0)
+	if len(v) == 0 {
+		t.Fatalf("diagonal violation not detected")
+	}
+	if v[0].W != -1 {
+		t.Errorf("violation %+v should be diagonal (W=-1)", v[0])
+	}
+}
+
+func TestCheckTrianglePath(t *testing.T) {
+	m := NewMatrix(3, false)
+	for i := 0; i < 3; i++ {
+		m.SetFull(i, 1000, 1000)
+	}
+	m.SetDelta(0, 1, 10, 10)
+	m.SetDelta(1, 2, 10, 10)
+	m.SetDelta(0, 2, 100, 100) // 100 > 10 + 10
+	v := m.CheckTriangle(0)
+	if len(v) == 0 {
+		t.Fatalf("path violation not detected")
+	}
+	// A clean matrix passes.
+	ok := NewMatrix(3, false)
+	for i := 0; i < 3; i++ {
+		ok.SetFull(i, 1000, 1000)
+	}
+	ok.SetDelta(0, 1, 10, 10)
+	ok.SetDelta(1, 2, 10, 10)
+	ok.SetDelta(0, 2, 15, 15)
+	if v := ok.CheckTriangle(0); len(v) != 0 {
+		t.Errorf("clean matrix flagged: %+v", v)
+	}
+}
+
+func TestCheckTriangleLimit(t *testing.T) {
+	m := NewMatrix(4, false)
+	for i := 0; i < 4; i++ {
+		m.SetFull(i, 10, 10)
+	}
+	// Several impossible deltas.
+	m.SetDelta(0, 1, 0.1, 0.1)
+	m.SetDelta(1, 2, 0.1, 0.1)
+	m.SetDelta(2, 3, 0.1, 0.1)
+	m.SetDelta(0, 3, 9, 9)
+	m.SetDelta(0, 2, 9, 9)
+	if v := m.CheckTriangle(1); len(v) != 1 {
+		t.Errorf("limit=1 returned %d violations", len(v))
+	}
+}
+
+func TestTotals(t *testing.T) {
+	m := NewMatrix(2, true)
+	m.SetFull(0, 100, 100)
+	m.SetFull(1, 200, 200)
+	if got := m.TotalFullStorage(); got != 300 {
+		t.Errorf("TotalFullStorage = %g", got)
+	}
+	if got := m.AverageFullStorage(); got != 150 {
+		t.Errorf("AverageFullStorage = %g", got)
+	}
+	if got := NewMatrix(0, true).AverageFullStorage(); got != 0 {
+		t.Errorf("empty AverageFullStorage = %g", got)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	for _, s := range []Scenario{UndirectedProportional, DirectedProportional, DirectedGeneral, Scenario(9)} {
+		if s.String() == "" {
+			t.Errorf("Scenario(%d) prints empty", int(s))
+		}
+	}
+}
+
+// TestQuickEachDeltaRoundTrip: every set entry is visited exactly once with
+// its stored value, directed and undirected.
+func TestQuickEachDeltaRoundTrip(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		m := NewMatrix(n, directed)
+		ref := map[[2]int]Pair{}
+		for k := 0; k < 20; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			p := Pair{Storage: float64(rng.Intn(100)), Recreate: float64(rng.Intn(100))}
+			m.SetDelta(i, j, p.Storage, p.Recreate)
+			key := [2]int{i, j}
+			if !directed && i > j {
+				key = [2]int{j, i}
+			}
+			ref[key] = p
+		}
+		seen := map[[2]int]Pair{}
+		m.EachDelta(func(i, j int, p Pair) {
+			seen[[2]int{i, j}] = p
+		})
+		if len(seen) != len(ref) {
+			return false
+		}
+		for k, p := range ref {
+			if seen[k] != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package costs
+
+import "fmt"
+
+// The paper's §2.1 notes that a version pair may admit several delta
+// mechanisms — e.g. a compact derivation program (tiny Δ, huge Φ) and an
+// explicit diff (larger Δ, small Φ) — and that "our techniques also apply
+// to the more general scenario with small modifications". The modification
+// is exactly this: extra variants become parallel edges of the augmented
+// graph, and every graph-based solver then chooses per pair whichever
+// mechanism its objective prefers.
+
+// AddDeltaVariant records an additional delta mechanism for (i, j) beyond
+// the primary entry set with SetDelta. Variants participate in Augment (as
+// parallel edges) but not in Delta, which keeps returning the primary
+// mechanism — mirroring systems like GitH that only ever compute one kind
+// of delta.
+func (m *Matrix) AddDeltaVariant(i, j int, storage, recreate float64) {
+	m.checkIndex(i)
+	m.checkIndex(j)
+	if i == j {
+		panic(fmt.Sprintf("costs: AddDeltaVariant(%d,%d) on diagonal", i, j))
+	}
+	if storage < 0 || recreate < 0 {
+		panic(fmt.Sprintf("costs: negative variant cost for (%d,%d)", i, j))
+	}
+	if m.variants == nil {
+		m.variants = make(map[[2]int][]Pair)
+	}
+	k := m.key(i, j)
+	m.variants[k] = append(m.variants[k], Pair{Storage: storage, Recreate: recreate})
+}
+
+// Variants returns the additional delta mechanisms recorded for (i, j).
+func (m *Matrix) Variants(i, j int) []Pair {
+	m.checkIndex(i)
+	m.checkIndex(j)
+	if i == j {
+		return nil
+	}
+	return append([]Pair(nil), m.variants[m.key(i, j)]...)
+}
+
+// NumVariants returns the total number of extra delta mechanisms recorded.
+func (m *Matrix) NumVariants() int {
+	n := 0
+	for _, vs := range m.variants {
+		n += len(vs)
+	}
+	return n
+}
+
+// BestDelta returns the cheapest-by-storage mechanism among the primary
+// delta and all variants for (i, j).
+func (m *Matrix) BestDelta(i, j int) (Pair, bool) {
+	best, ok := m.Delta(i, j)
+	for _, v := range m.Variants(i, j) {
+		if !ok || v.Storage < best.Storage {
+			best, ok = v, true
+		}
+	}
+	return best, ok
+}
+
+// HopVariant returns a copy of the matrix in the §3 hop-cost regime:
+// identical Δ entries but Φ ≡ 1 everywhere, so a solution's recreation cost
+// counts delta applications ("hops"). Problem 6 on the result is the
+// bounded-diameter minimum spanning tree (d-MinimumSteinerTree with ω = V),
+// whose hardness the paper cites from Kortsarz & Peleg.
+func (m *Matrix) HopVariant() *Matrix {
+	h := NewMatrix(m.n, m.directed)
+	for i := 0; i < m.n; i++ {
+		if p, ok := m.Full(i); ok {
+			h.SetFull(i, p.Storage, 1)
+		}
+	}
+	for k, p := range m.deltas {
+		h.deltas[k] = Pair{Storage: p.Storage, Recreate: 1}
+	}
+	for k, vs := range m.variants {
+		for _, v := range vs {
+			if h.variants == nil {
+				h.variants = make(map[[2]int][]Pair)
+			}
+			h.variants[k] = append(h.variants[k], Pair{Storage: v.Storage, Recreate: 1})
+		}
+	}
+	return h
+}

@@ -1,0 +1,109 @@
+package costs
+
+import "testing"
+
+func TestAddDeltaVariantBasics(t *testing.T) {
+	m := NewMatrix(3, true)
+	m.SetFull(0, 100, 100)
+	m.SetFull(1, 110, 110)
+	m.SetFull(2, 120, 120)
+	m.SetDelta(0, 1, 40, 40)        // explicit diff
+	m.AddDeltaVariant(0, 1, 2, 500) // derivation script: tiny Δ, huge Φ
+	m.AddDeltaVariant(0, 1, 25, 60) // compressed diff
+	if m.NumVariants() != 2 {
+		t.Fatalf("NumVariants = %d", m.NumVariants())
+	}
+	if got := len(m.Variants(0, 1)); got != 2 {
+		t.Fatalf("Variants(0,1) = %d entries", got)
+	}
+	// Primary unchanged.
+	p, ok := m.Delta(0, 1)
+	if !ok || p.Storage != 40 {
+		t.Errorf("primary delta = %+v,%v", p, ok)
+	}
+	// BestDelta picks the script.
+	best, ok := m.BestDelta(0, 1)
+	if !ok || best.Storage != 2 {
+		t.Errorf("BestDelta = %+v,%v", best, ok)
+	}
+	// BestDelta with no primary but variants only.
+	m.AddDeltaVariant(1, 2, 7, 7)
+	if best, ok := m.BestDelta(1, 2); !ok || best.Storage != 7 {
+		t.Errorf("variant-only BestDelta = %+v,%v", best, ok)
+	}
+}
+
+func TestVariantPanics(t *testing.T) {
+	m := NewMatrix(2, true)
+	for name, fn := range map[string]func(){
+		"diagonal": func() { m.AddDeltaVariant(1, 1, 1, 1) },
+		"negative": func() { m.AddDeltaVariant(0, 1, -1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestAugmentIncludesVariantsAsParallelEdges(t *testing.T) {
+	m := NewMatrix(2, true)
+	m.SetFull(0, 100, 100)
+	m.SetFull(1, 110, 110)
+	m.SetDelta(0, 1, 40, 40)
+	m.AddDeltaVariant(0, 1, 2, 500)
+	g, err := m.Augment()
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	// Vertex 1 (= version 0) must have two parallel edges to vertex 2.
+	count := 0
+	for _, e := range g.Out(1) {
+		if e.To == 2 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("parallel edges = %d, want 2", count)
+	}
+}
+
+func TestHopVariant(t *testing.T) {
+	m := NewMatrix(3, false)
+	m.SetFull(0, 100, 100)
+	m.SetFull(1, 110, 110)
+	m.SetFull(2, 120, 120)
+	m.SetDelta(0, 1, 40, 40)
+	m.SetDelta(1, 2, 50, 50)
+	m.AddDeltaVariant(0, 1, 5, 900)
+	h := m.HopVariant()
+	if h.N() != 3 || h.Directed() {
+		t.Fatalf("hop variant shape wrong")
+	}
+	for i := 0; i < 3; i++ {
+		p, ok := h.Full(i)
+		if !ok || p.Recreate != 1 {
+			t.Errorf("full %d: %+v", i, p)
+		}
+		orig, _ := m.Full(i)
+		if p.Storage != orig.Storage {
+			t.Errorf("full %d storage changed", i)
+		}
+	}
+	h.EachDelta(func(i, j int, p Pair) {
+		if p.Recreate != 1 {
+			t.Errorf("delta (%d,%d) Φ = %g, want 1", i, j, p.Recreate)
+		}
+	})
+	if vs := h.Variants(0, 1); len(vs) != 1 || vs[0].Recreate != 1 || vs[0].Storage != 5 {
+		t.Errorf("hop variant lost delta variants: %+v", vs)
+	}
+	// The original matrix is untouched.
+	if p, _ := m.Full(0); p.Recreate != 100 {
+		t.Errorf("HopVariant mutated the source")
+	}
+}

@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomTableShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := Random(rng, 10, 4)
+	if tb.NumRows() != 10 || tb.NumCols() != 4 {
+		t.Fatalf("shape %dx%d, want 10x4", tb.NumRows(), tb.NumCols())
+	}
+	if err := tb.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := Random(rng, 25, 5)
+	b, err := tb.EncodeCSV()
+	if err != nil {
+		t.Fatalf("EncodeCSV: %v", err)
+	}
+	back, err := DecodeCSV(b)
+	if err != nil {
+		t.Fatalf("DecodeCSV: %v", err)
+	}
+	if !tb.Equal(back) {
+		t.Errorf("CSV round trip changed the table")
+	}
+}
+
+func TestDecodeCSVErrors(t *testing.T) {
+	if _, err := DecodeCSV(nil); err == nil {
+		t.Errorf("DecodeCSV(nil) succeeded")
+	}
+	if _, err := DecodeCSV([]byte("a,b\n1\n")); err == nil {
+		t.Errorf("ragged CSV accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tb := Random(rng, 5, 3)
+	c := tb.Clone()
+	c.Rows[0][0] = "mutated"
+	c.Header[0] = "mutated"
+	if tb.Rows[0][0] == "mutated" || tb.Header[0] == "mutated" {
+		t.Errorf("Clone shares state")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Random(rng, 5, 3)
+	if !a.Equal(a.Clone()) {
+		t.Errorf("clone not equal")
+	}
+	b := a.Clone()
+	b.Rows[2][1] = "x"
+	if a.Equal(b) {
+		t.Errorf("differing tables equal")
+	}
+	c := a.Clone()
+	c.Header[0] = "x"
+	if a.Equal(c) {
+		t.Errorf("differing headers equal")
+	}
+}
+
+func TestOpAddDeleteRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := Random(rng, 10, 3)
+	out, err := Script{{Kind: OpAddRows, Pos: 4, Count: 3, Seed: 7}}.Apply(tb)
+	if err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if out.NumRows() != 13 {
+		t.Errorf("rows after add = %d, want 13", out.NumRows())
+	}
+	// Original rows preserved around the insertion point.
+	if out.Rows[0][0] != tb.Rows[0][0] || out.Rows[12][0] != tb.Rows[9][0] {
+		t.Errorf("add displaced existing rows")
+	}
+	out2, err := Script{{Kind: OpDeleteRows, Pos: 2, Count: 5}}.Apply(out)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if out2.NumRows() != 8 {
+		t.Errorf("rows after delete = %d, want 8", out2.NumRows())
+	}
+}
+
+func TestOpColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tb := Random(rng, 6, 3)
+	out, err := Script{{Kind: OpAddColumn, Seed: 9}}.Apply(tb)
+	if err != nil {
+		t.Fatalf("add column: %v", err)
+	}
+	if out.NumCols() != 4 {
+		t.Errorf("cols = %d, want 4", out.NumCols())
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("after add column: %v", err)
+	}
+	out2, err := Script{{Kind: OpRemoveColumn, Pos: 1}}.Apply(out)
+	if err != nil {
+		t.Fatalf("remove column: %v", err)
+	}
+	if out2.NumCols() != 3 {
+		t.Errorf("cols after remove = %d, want 3", out2.NumCols())
+	}
+	if err := out2.Validate(); err != nil {
+		t.Errorf("after remove column: %v", err)
+	}
+}
+
+func TestOpModify(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := Random(rng, 8, 3)
+	out, err := Script{{Kind: OpModifyRows, Pos: 2, Count: 2, Seed: 11}}.Apply(tb)
+	if err != nil {
+		t.Fatalf("modify rows: %v", err)
+	}
+	if out.Rows[2][0] == tb.Rows[2][0] && out.Rows[3][1] == tb.Rows[3][1] {
+		t.Errorf("modify-rows changed nothing")
+	}
+	if out.Rows[0][0] != tb.Rows[0][0] {
+		t.Errorf("modify-rows touched out-of-range rows")
+	}
+	out2, err := Script{{Kind: OpModifyColumn, Col: 1, Pos: 0, Count: 8, Seed: 12}}.Apply(tb)
+	if err != nil {
+		t.Fatalf("modify column: %v", err)
+	}
+	if out2.Rows[4][0] != tb.Rows[4][0] {
+		t.Errorf("modify-column touched other columns")
+	}
+}
+
+func TestOpErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tb := Random(rng, 4, 2)
+	for name, s := range map[string]Script{
+		"add out of range":    {{Kind: OpAddRows, Pos: 99, Count: 1}},
+		"delete out of range": {{Kind: OpDeleteRows, Pos: 3, Count: 5}},
+		"unknown op":          {{Kind: OpKind(99)}},
+	} {
+		if _, err := s.Apply(tb); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	one := NewTable("only")
+	if _, err := (Script{{Kind: OpRemoveColumn}}).Apply(one); err == nil {
+		t.Errorf("remove-column on single-column table succeeded")
+	}
+}
+
+func TestScriptDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tb := Random(rng, 20, 4)
+	s := RandomScript(rand.New(rand.NewSource(10)), 20, 4, 6)
+	a, err := s.Apply(tb)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	b, err := s.Apply(tb)
+	if err != nil {
+		t.Fatalf("apply again: %v", err)
+	}
+	if !a.Equal(b) {
+		t.Errorf("script application not deterministic")
+	}
+}
+
+// TestQuickRandomScriptsApply: generated scripts always apply cleanly and
+// preserve rectangularity.
+func TestQuickRandomScriptsApply(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 4 + rng.Intn(40)
+		cols := 2 + rng.Intn(6)
+		tb := Random(rng, rows, cols)
+		cur := tb
+		for step := 0; step < 5; step++ {
+			s := RandomScript(rng, cur.NumRows(), cur.NumCols(), 1+rng.Intn(4))
+			next, err := s.Apply(cur)
+			if err != nil {
+				t.Logf("seed %d step %d: %v (script %v)", seed, step, err, s)
+				return false
+			}
+			if err := next.Validate(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			cur = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScriptMetadata(t *testing.T) {
+	s := RandomScript(rand.New(rand.NewSource(11)), 20, 4, 5)
+	if len(s) != 5 {
+		t.Fatalf("script length %d, want 5", len(s))
+	}
+	if s.EncodedSize() <= 0 {
+		t.Errorf("EncodedSize = %d", s.EncodedSize())
+	}
+	if s.String() == "" {
+		t.Errorf("String() empty")
+	}
+	for _, k := range []OpKind{OpAddRows, OpDeleteRows, OpAddColumn, OpRemoveColumn, OpModifyRows, OpModifyColumn, OpKind(42)} {
+		if k.String() == "" {
+			t.Errorf("OpKind(%d).String empty", int(k))
+		}
+	}
+}

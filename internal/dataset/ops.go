@@ -1,0 +1,213 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// OpKind enumerates the six §5.1 edit commands.
+type OpKind int
+
+const (
+	// OpAddRows inserts consecutive rows at a position.
+	OpAddRows OpKind = iota
+	// OpDeleteRows removes consecutive rows at a position.
+	OpDeleteRows
+	// OpAddColumn appends a new column with generated values.
+	OpAddColumn
+	// OpRemoveColumn drops a column by index.
+	OpRemoveColumn
+	// OpModifyRows rewrites the cells of a consecutive row range.
+	OpModifyRows
+	// OpModifyColumn rewrites a column's cells over a row range.
+	OpModifyColumn
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpAddRows:
+		return "add-rows"
+	case OpDeleteRows:
+		return "delete-rows"
+	case OpAddColumn:
+		return "add-column"
+	case OpRemoveColumn:
+		return "remove-column"
+	case OpModifyRows:
+		return "modify-rows"
+	case OpModifyColumn:
+		return "modify-column"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one edit command. Interpretation of the fields depends on Kind;
+// Seed drives the deterministic regeneration of any new cell content, which
+// keeps scripts tiny (a script is a program, not data — §2.1's "listing of
+// a program ... that generates version Vi from Vj").
+type Op struct {
+	Kind  OpKind
+	Pos   int   // row position or column index
+	Count int   // number of rows affected
+	Col   int   // column index for OpModifyColumn
+	Seed  int64 // PRNG seed for regenerated content
+}
+
+// Script is an ordered list of edit commands: the paper's "edit commands"
+// annotation on version-graph edges.
+type Script []Op
+
+// Apply runs the script against a copy of t and returns the result.
+func (s Script) Apply(t *Table) (*Table, error) {
+	out := t.Clone()
+	for i, op := range s {
+		if err := applyOp(out, op); err != nil {
+			return nil, fmt.Errorf("dataset: op %d (%v): %w", i, op.Kind, err)
+		}
+	}
+	return out, nil
+}
+
+func applyOp(t *Table, op Op) error {
+	rng := rand.New(rand.NewSource(op.Seed))
+	switch op.Kind {
+	case OpAddRows:
+		if op.Pos < 0 || op.Pos > len(t.Rows) {
+			return fmt.Errorf("add-rows position %d out of range [0,%d]", op.Pos, len(t.Rows))
+		}
+		rows := make([][]string, op.Count)
+		for i := range rows {
+			rows[i] = randomRow(rng, len(t.Header))
+		}
+		t.Rows = append(t.Rows[:op.Pos], append(rows, t.Rows[op.Pos:]...)...)
+	case OpDeleteRows:
+		if op.Pos < 0 || op.Pos+op.Count > len(t.Rows) {
+			return fmt.Errorf("delete-rows range [%d,%d) out of range [0,%d)", op.Pos, op.Pos+op.Count, len(t.Rows))
+		}
+		t.Rows = append(t.Rows[:op.Pos], t.Rows[op.Pos+op.Count:]...)
+	case OpAddColumn:
+		name := fmt.Sprintf("gen_%x", rng.Int63())
+		t.Header = append(t.Header, name)
+		for i := range t.Rows {
+			t.Rows[i] = append(t.Rows[i], randomCell(rng))
+		}
+	case OpRemoveColumn:
+		if len(t.Header) <= 1 {
+			return fmt.Errorf("remove-column on single-column table")
+		}
+		c := op.Pos % len(t.Header)
+		if c < 0 {
+			c += len(t.Header)
+		}
+		t.Header = append(t.Header[:c], t.Header[c+1:]...)
+		for i := range t.Rows {
+			t.Rows[i] = append(t.Rows[i][:c], t.Rows[i][c+1:]...)
+		}
+	case OpModifyRows:
+		if op.Pos < 0 || op.Pos+op.Count > len(t.Rows) {
+			return fmt.Errorf("modify-rows range [%d,%d) out of range [0,%d)", op.Pos, op.Pos+op.Count, len(t.Rows))
+		}
+		for i := op.Pos; i < op.Pos+op.Count; i++ {
+			t.Rows[i] = randomRow(rng, len(t.Header))
+		}
+	case OpModifyColumn:
+		if len(t.Rows) == 0 {
+			return nil
+		}
+		c := op.Col % len(t.Header)
+		if c < 0 {
+			c += len(t.Header)
+		}
+		lo := op.Pos % len(t.Rows)
+		if lo < 0 {
+			lo += len(t.Rows)
+		}
+		hi := min(lo+op.Count, len(t.Rows))
+		for i := lo; i < hi; i++ {
+			t.Rows[i][c] = randomCell(rng)
+		}
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// RandomScript draws nOps edit commands sized for a table with roughly
+// rows×cols shape. The mix is mutation-heavy with occasional structural
+// changes, mirroring the paper's generator.
+func RandomScript(rng *rand.Rand, rows, cols, nOps int) Script {
+	s := make(Script, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		var op Op
+		op.Seed = rng.Int63()
+		switch p := rng.Float64(); {
+		case p < 0.30:
+			op.Kind = OpModifyRows
+			op.Pos = rng.Intn(max(rows, 1))
+			op.Count = 1 + rng.Intn(max(rows/20, 1))
+			if op.Pos+op.Count > rows {
+				op.Count = rows - op.Pos
+			}
+			if op.Count <= 0 {
+				op.Kind = OpAddRows
+				op.Pos = 0
+				op.Count = 1
+			}
+		case p < 0.55:
+			op.Kind = OpModifyColumn
+			op.Col = rng.Intn(max(cols, 1))
+			op.Pos = rng.Intn(max(rows, 1))
+			op.Count = 1 + rng.Intn(max(rows/10, 1))
+		case p < 0.75:
+			op.Kind = OpAddRows
+			op.Pos = rng.Intn(rows + 1)
+			op.Count = 1 + rng.Intn(max(rows/20, 1))
+			rows += op.Count
+		case p < 0.90:
+			op.Kind = OpDeleteRows
+			if rows <= 2 {
+				op.Kind = OpAddRows
+				op.Pos = 0
+				op.Count = 2
+				rows += 2
+				break
+			}
+			op.Pos = rng.Intn(rows - 1)
+			op.Count = 1 + rng.Intn(max(rows/30, 1))
+			if op.Pos+op.Count >= rows {
+				op.Count = rows - op.Pos - 1
+			}
+			if op.Count <= 0 {
+				op.Count = 1
+			}
+			rows -= op.Count
+		case p < 0.95 && cols > 2:
+			op.Kind = OpRemoveColumn
+			op.Pos = rng.Intn(cols)
+			cols--
+		default:
+			op.Kind = OpAddColumn
+			cols++
+		}
+		s = append(s, op)
+	}
+	return s
+}
+
+// EncodedSize is the byte footprint of the script when stored as a program
+// delta: a handful of integers per op.
+func (s Script) EncodedSize() int {
+	return len(s) * 26 // kind(1) + 4 varint-ish fields ≈ 26 bytes/op
+}
+
+// String renders the script compactly for logs.
+func (s Script) String() string {
+	parts := make([]string, len(s))
+	for i, op := range s {
+		parts[i] = fmt.Sprintf("%v@%d+%d", op.Kind, op.Pos, op.Count)
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,135 @@
+// Package dataset models the ordered tabular (CSV) datasets of the paper's
+// synthetic workloads (§5.1) along with the six edit commands its version
+// generator uses: add/delete a set of consecutive rows, add/remove a
+// column, and modify a subset of rows or columns. Edit scripts double as
+// "program" deltas — compact derivation procedures whose storage cost is
+// tiny but whose recreation cost is the work of re-running them (the Φ ≠ Δ
+// scenario of §2.1).
+package dataset
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Table is an ordered relational table: a header and rows of equal width.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given header and no rows.
+func NewTable(header ...string) *Table {
+	return &Table{Header: append([]string(nil), header...)}
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		Header: append([]string(nil), t.Header...),
+		Rows:   make([][]string, len(t.Rows)),
+	}
+	for i, r := range t.Rows {
+		c.Rows[i] = append([]string(nil), r...)
+	}
+	return c
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Header) }
+
+// Validate checks that every row has the header's width.
+func (t *Table) Validate() error {
+	for i, r := range t.Rows {
+		if len(r) != len(t.Header) {
+			return fmt.Errorf("dataset: row %d has %d cells, header has %d", i, len(r), len(t.Header))
+		}
+	}
+	return nil
+}
+
+// EncodeCSV renders the table as CSV bytes (header first).
+func (t *Table) EncodeCSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(t.Header); err != nil {
+		return nil, fmt.Errorf("dataset: encode: %w", err)
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		return nil, fmt.Errorf("dataset: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCSV parses CSV bytes produced by EncodeCSV.
+func DecodeCSV(b []byte) (*Table, error) {
+	r := csv.NewReader(bytes.NewReader(b))
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("dataset: decode: empty input")
+	}
+	t := &Table{Header: recs[0], Rows: recs[1:]}
+	return t, t.Validate()
+}
+
+// Equal reports whether two tables have identical headers and rows.
+func (t *Table) Equal(o *Table) bool {
+	if len(t.Header) != len(o.Header) || len(t.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range t.Header {
+		if t.Header[i] != o.Header[i] {
+			return false
+		}
+	}
+	for i := range t.Rows {
+		for j := range t.Rows[i] {
+			if t.Rows[i][j] != o.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Random returns a table of the given shape filled with pseudo-random cell
+// values drawn from rng, emulating the paper's generated CSV datasets.
+func Random(rng *rand.Rand, rows, cols int) *Table {
+	t := &Table{Header: make([]string, cols)}
+	for c := 0; c < cols; c++ {
+		t.Header[c] = fmt.Sprintf("col%d", c)
+	}
+	t.Rows = make([][]string, rows)
+	for r := 0; r < rows; r++ {
+		t.Rows[r] = randomRow(rng, cols)
+	}
+	return t
+}
+
+func randomRow(rng *rand.Rand, cols int) []string {
+	row := make([]string, cols)
+	for c := range row {
+		row[c] = randomCell(rng)
+	}
+	return row
+}
+
+var cellAlphabet = []rune("abcdefghijklmnopqrstuvwxyz0123456789")
+
+func randomCell(rng *rand.Rand) string {
+	n := 4 + rng.Intn(9)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteRune(cellAlphabet[rng.Intn(len(cellAlphabet))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryDiffIdentity(t *testing.T) {
+	src := bytes.Repeat([]byte("0123456789abcdef"), 20)
+	d := BinaryDiff(src, src)
+	out, err := ApplyBinary(d, src)
+	if err != nil {
+		t.Fatalf("ApplyBinary: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Errorf("identity round trip failed")
+	}
+	// An identical target should encode as (almost) one COPY: far smaller
+	// than the content.
+	if len(d) > len(src)/4 {
+		t.Errorf("identity delta %d bytes for %d-byte input", len(d), len(src))
+	}
+}
+
+func TestBinaryDiffEmptySides(t *testing.T) {
+	content := []byte("some content longer than a block .......")
+	for _, tc := range []struct{ src, tgt []byte }{
+		{nil, content},
+		{content, nil},
+		{nil, nil},
+	} {
+		d := BinaryDiff(tc.src, tc.tgt)
+		out, err := ApplyBinary(d, tc.src)
+		if err != nil {
+			t.Fatalf("ApplyBinary(%q→%q): %v", tc.src, tc.tgt, err)
+		}
+		if !bytes.Equal(normalize(out), normalize(tc.tgt)) {
+			t.Errorf("round trip %q→%q got %q", tc.src, tc.tgt, out)
+		}
+	}
+}
+
+func TestBinaryDiffSmallEdit(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog\n"), 50)
+	tgt := append([]byte{}, src...)
+	copy(tgt[1000:], []byte("EDITED"))
+	d := BinaryDiff(src, tgt)
+	out, err := ApplyBinary(d, src)
+	if err != nil {
+		t.Fatalf("ApplyBinary: %v", err)
+	}
+	if !bytes.Equal(out, tgt) {
+		t.Errorf("edit round trip failed")
+	}
+	if len(d) > len(tgt)/10 {
+		t.Errorf("small edit produced %d-byte delta for %d-byte target", len(d), len(tgt))
+	}
+}
+
+func TestBinaryDiffWrongSource(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd"), 100)
+	tgt := bytes.Repeat([]byte("abce"), 100)
+	d := BinaryDiff(src, tgt)
+	if _, err := ApplyBinary(d, src[:10]); err == nil {
+		t.Errorf("wrong-length source accepted")
+	}
+	if _, err := ApplyBinary([]byte{0xff}, src); err == nil {
+		t.Errorf("corrupt delta accepted")
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, rng.Intn(4000))
+		rng.Read(src)
+		// Target: mutated copy (byte edits, splice, append).
+		tgt := append([]byte{}, src...)
+		for k := 0; k < rng.Intn(6); k++ {
+			if len(tgt) == 0 {
+				break
+			}
+			switch rng.Intn(3) {
+			case 0:
+				tgt[rng.Intn(len(tgt))] ^= 0x5a
+			case 1: // delete a span
+				i := rng.Intn(len(tgt))
+				j := min(i+rng.Intn(100), len(tgt))
+				tgt = append(tgt[:i], tgt[j:]...)
+			case 2: // insert a span
+				i := rng.Intn(len(tgt) + 1)
+				ins := make([]byte, rng.Intn(60))
+				rng.Read(ins)
+				tgt = append(tgt[:i], append(ins, tgt[i:]...)...)
+			}
+		}
+		d := BinaryDiff(src, tgt)
+		out, err := ApplyBinary(d, src)
+		if err != nil {
+			t.Logf("apply: %v", err)
+			return false
+		}
+		return bytes.Equal(normalize(out), normalize(tgt))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryDiffBeatsLineDiffOnIntraLineEdits(t *testing.T) {
+	// One long line with a tiny edit: a line diff must re-store the whole
+	// line, the binary delta only the changed span.
+	src := append([]byte("header\n"), bytes.Repeat([]byte("x"), 8000)...)
+	src = append(src, '\n')
+	tgt := append([]byte{}, src...)
+	tgt[4000] = 'Y'
+	lineSize := len(Encode(DiffLines(src, tgt), true))
+	binSize := len(BinaryDiff(src, tgt))
+	if binSize >= lineSize {
+		t.Errorf("binary delta %dB not smaller than line delta %dB on intra-line edit", binSize, lineSize)
+	}
+}

@@ -1,0 +1,284 @@
+package delta
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitJoinLines(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a\n", []string{"a"}},
+		{"a", []string{"a"}},
+		{"a\nb\n", []string{"a", "b"}},
+		{"a\n\nb", []string{"a", "", "b"}},
+		{"\n", []string{""}},
+	}
+	for _, tc := range cases {
+		got := SplitLines([]byte(tc.in))
+		if len(got) != len(tc.want) {
+			t.Errorf("SplitLines(%q) = %q, want %q", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("SplitLines(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+	if got := JoinLines([]string{"a", "b"}); string(got) != "a\nb\n" {
+		t.Errorf("JoinLines = %q", got)
+	}
+	if got := JoinLines(nil); got != nil {
+		t.Errorf("JoinLines(nil) = %q", got)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := []byte("x\ny\nz\n")
+	d := DiffLines(a, a)
+	if len(d.Hunks) != 0 {
+		t.Errorf("diff of identical inputs has %d hunks", len(d.Hunks))
+	}
+	out, err := d.Apply(a)
+	if err != nil || !bytes.Equal(out, a) {
+		t.Errorf("Apply identity failed: %q, %v", out, err)
+	}
+}
+
+func TestDiffSimpleEdit(t *testing.T) {
+	a := []byte("one\ntwo\nthree\n")
+	b := []byte("one\nTWO\nthree\nfour\n")
+	d := DiffLines(a, b)
+	out, err := d.Apply(a)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !bytes.Equal(out, b) {
+		t.Errorf("Apply = %q, want %q", out, b)
+	}
+	if d.NumEdits() == 0 {
+		t.Errorf("NumEdits = 0 for a real change")
+	}
+}
+
+func TestDiffEmptySides(t *testing.T) {
+	a := []byte("one\ntwo\n")
+	for _, tc := range []struct{ from, to []byte }{
+		{nil, a},
+		{a, nil},
+		{nil, nil},
+	} {
+		d := DiffLines(tc.from, tc.to)
+		out, err := d.Apply(tc.from)
+		if err != nil {
+			t.Fatalf("Apply(%q→%q): %v", tc.from, tc.to, err)
+		}
+		if !bytes.Equal(out, tc.to) {
+			t.Errorf("Apply(%q→%q) = %q", tc.from, tc.to, out)
+		}
+	}
+}
+
+func TestApplyContextMismatch(t *testing.T) {
+	a := []byte("one\ntwo\n")
+	b := []byte("one\nTWO\n")
+	d := DiffLines(a, b)
+	if _, err := d.Apply([]byte("completely\ndifferent\n")); err == nil {
+		t.Errorf("Apply on wrong base succeeded")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	a := []byte("a\nb\nc\nd\ne\n")
+	b := []byte("a\nX\nc\ne\nf\ng\n")
+	d := DiffLines(a, b)
+	back, err := d.Invert().Apply(b)
+	if err != nil {
+		t.Fatalf("Invert().Apply: %v", err)
+	}
+	if !bytes.Equal(back, a) {
+		t.Errorf("invert round trip = %q, want %q", back, a)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	a := []byte("aaaa\nbbbb\ncccc\n")
+	b := []byte("aaaa\ncccc\n") // pure deletion
+	d := DiffLines(a, b)
+	if ow, tw := d.SizeOneWay(), d.SizeTwoWay(); ow >= tw {
+		t.Errorf("one-way size %d not smaller than two-way %d for a deletion", ow, tw)
+	}
+}
+
+func randomLines(rng *rand.Rand, n int) []byte {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "line-%d-%d\n", rng.Intn(8), rng.Intn(4))
+	}
+	return []byte(sb.String())
+}
+
+func mutate(rng *rand.Rand, in []byte) []byte {
+	lines := SplitLines(in)
+	out := make([]string, 0, len(lines)+4)
+	for _, l := range lines {
+		switch rng.Intn(10) {
+		case 0: // delete
+		case 1: // modify
+			out = append(out, l+"-mod")
+		case 2: // insert before
+			out = append(out, fmt.Sprintf("new-%d", rng.Intn(100)), l)
+		default:
+			out = append(out, l)
+		}
+	}
+	return JoinLines(out)
+}
+
+// TestQuickDiffApply: apply(a, diff(a,b)) == b for random line files,
+// through the in-memory, encoded two-way, and encoded one-way paths.
+func TestQuickDiffApply(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomLines(rng, rng.Intn(60))
+		b := mutate(rng, a)
+		d := DiffLines(a, b)
+		out, err := d.Apply(a)
+		if err != nil || !bytes.Equal(out, b) {
+			t.Logf("plain apply: %v", err)
+			return false
+		}
+		// Two-way encoding round trip.
+		enc := Encode(d, false)
+		out2, err := ApplyEncoded(enc, a)
+		if err != nil || !bytes.Equal(out2, b) {
+			t.Logf("two-way encoded apply: %v", err)
+			return false
+		}
+		// One-way encoding applies forward.
+		ow := Encode(d, true)
+		out3, err := ApplyEncoded(ow, a)
+		if err != nil || !bytes.Equal(out3, b) {
+			t.Logf("one-way encoded apply: %v", err)
+			return false
+		}
+		// Invert applies backward.
+		back, err := d.Invert().Apply(b)
+		if err != nil || !bytes.Equal(back, a) {
+			t.Logf("invert apply: %v", err)
+			return false
+		}
+		return len(ow) <= len(enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a := []byte("p\nq\nr\ns\n")
+	b := []byte("p\nQQ\nr\nt\nu\n")
+	d := DiffLines(a, b)
+	for _, oneWay := range []bool{false, true} {
+		enc := Encode(d, oneWay)
+		dec, ow, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(oneWay=%v): %v", oneWay, err)
+		}
+		if ow != oneWay {
+			t.Errorf("decoded oneWay = %v, want %v", ow, oneWay)
+		}
+		if len(dec.Hunks) != len(d.Hunks) {
+			t.Errorf("decoded %d hunks, want %d", len(dec.Hunks), len(d.Hunks))
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	for _, enc := range [][]byte{
+		{},
+		{0xff},
+		{2, 0}, // claims 2 hunks, truncated
+	} {
+		if _, _, err := Decode(enc); err == nil {
+			t.Errorf("Decode(%v) succeeded on corrupt input", enc)
+		}
+	}
+}
+
+func TestXORRoundTripBothDirections(t *testing.T) {
+	f := func(a, b []byte) bool {
+		d := XOR(a, b)
+		gotB, err := ApplyXOR(d, a)
+		if err != nil || !bytes.Equal(normalize(gotB), normalize(b)) {
+			return false
+		}
+		gotA, err := ApplyXOR(d, b)
+		if err != nil || !bytes.Equal(normalize(gotA), normalize(a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// normalize maps nil to empty for byte comparisons.
+func normalize(b []byte) []byte {
+	if b == nil {
+		return []byte{}
+	}
+	return b
+}
+
+func TestXORLengthMismatch(t *testing.T) {
+	d := XOR([]byte("abc"), []byte("abcdef"))
+	if _, err := ApplyXOR(d, []byte("xy")); err == nil {
+		t.Errorf("ApplyXOR accepted a source of foreign length")
+	}
+	if _, err := ApplyXOR([]byte{0x01}, []byte("abc")); err == nil {
+		t.Errorf("ApplyXOR accepted corrupt header")
+	}
+}
+
+func TestXOREqualLengthAmbiguity(t *testing.T) {
+	// When both sides have equal length either direction works.
+	a, b := []byte("aaaa"), []byte("bbbb")
+	d := XOR(a, b)
+	out, err := ApplyXOR(d, a)
+	if err != nil || !bytes.Equal(out, b) {
+		t.Errorf("equal-length XOR apply failed: %q %v", out, err)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := Decompress(Compress(data))
+		return err == nil && bytes.Equal(normalize(out), normalize(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressShrinksRedundantInput(t *testing.T) {
+	data := bytes.Repeat([]byte("versioned dataset row\n"), 200)
+	if c := Compress(data); len(c) >= len(data)/4 {
+		t.Errorf("Compress(%d bytes) = %d bytes, expected strong shrink", len(data), len(c))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	if _, err := Decompress([]byte{0x00, 0x01, 0x02}); err == nil {
+		t.Errorf("Decompress accepted garbage")
+	}
+}

@@ -1,0 +1,176 @@
+package delta
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Encode serializes a LineDelta. Layout:
+//
+//	[uvarint nhunks] then per hunk:
+//	[uvarint srcPos][uvarint ndel][uvarint nins]
+//	[ndel × (uvarint len, bytes)] (omitted when oneWay)
+//	[nins × (uvarint len, bytes)]
+//
+// With oneWay=true deleted content is dropped (only the count survives),
+// producing the asymmetric directed delta of §2.1.
+func Encode(d *LineDelta, oneWay bool) []byte {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putStr := func(s string) {
+		putUv(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putUv(uint64(len(d.Hunks)))
+	if oneWay {
+		putUv(1)
+	} else {
+		putUv(0)
+	}
+	for _, h := range d.Hunks {
+		putUv(uint64(h.SrcPos))
+		putUv(uint64(len(h.Del)))
+		putUv(uint64(len(h.Ins)))
+		if !oneWay {
+			for _, l := range h.Del {
+				putStr(l)
+			}
+		}
+		for _, l := range h.Ins {
+			putStr(l)
+		}
+	}
+	return buf.Bytes()
+}
+
+// Decode parses an encoded LineDelta, reporting whether it was one-way.
+// One-way deltas decode with nil Del content but the original Del counts
+// preserved as empty strings, so Apply still consumes the right lines (the
+// context check is skipped for them).
+func Decode(enc []byte) (*LineDelta, bool, error) {
+	r := bytes.NewReader(enc)
+	getUv := func() (uint64, error) { return binary.ReadUvarint(r) }
+	getStr := func() (string, error) {
+		n, err := getUv()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	nh, err := getUv()
+	if err != nil {
+		return nil, false, fmt.Errorf("delta: decode: %w", err)
+	}
+	ow, err := getUv()
+	if err != nil {
+		return nil, false, fmt.Errorf("delta: decode: %w", err)
+	}
+	oneWay := ow == 1
+	d := &LineDelta{Hunks: make([]Hunk, nh)}
+	for i := range d.Hunks {
+		sp, err := getUv()
+		if err != nil {
+			return nil, false, fmt.Errorf("delta: decode hunk %d: %w", i, err)
+		}
+		nd, err := getUv()
+		if err != nil {
+			return nil, false, fmt.Errorf("delta: decode hunk %d: %w", i, err)
+		}
+		ni, err := getUv()
+		if err != nil {
+			return nil, false, fmt.Errorf("delta: decode hunk %d: %w", i, err)
+		}
+		h := Hunk{SrcPos: int(sp)}
+		if !oneWay {
+			h.Del = make([]string, nd)
+			for j := range h.Del {
+				if h.Del[j], err = getStr(); err != nil {
+					return nil, false, fmt.Errorf("delta: decode hunk %d del %d: %w", i, j, err)
+				}
+			}
+		} else {
+			h.Del = make([]string, nd) // counts only
+		}
+		h.Ins = make([]string, ni)
+		for j := range h.Ins {
+			if h.Ins[j], err = getStr(); err != nil {
+				return nil, false, fmt.Errorf("delta: decode hunk %d ins %d: %w", i, j, err)
+			}
+		}
+		d.Hunks[i] = h
+	}
+	return d, oneWay, nil
+}
+
+// ApplyEncoded decodes and applies an encoded delta to src. One-way deltas
+// skip the deleted-content context check.
+func ApplyEncoded(enc, src []byte) ([]byte, error) {
+	d, oneWay, err := Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	if !oneWay {
+		return d.Apply(src)
+	}
+	return applyCounts(d, src)
+}
+
+// applyCounts applies a one-way delta whose Del entries carry counts only.
+func applyCounts(d *LineDelta, src []byte) ([]byte, error) {
+	lines := SplitLines(src)
+	var out []string
+	pos := 0
+	for hi, h := range d.Hunks {
+		if h.SrcPos < pos || h.SrcPos > len(lines) {
+			return nil, fmt.Errorf("delta: hunk %d at %d out of order", hi, h.SrcPos)
+		}
+		out = append(out, lines[pos:h.SrcPos]...)
+		pos = h.SrcPos + len(h.Del)
+		if pos > len(lines) {
+			return nil, fmt.Errorf("delta: hunk %d deletes past end of source", hi)
+		}
+		out = append(out, h.Ins...)
+	}
+	out = append(out, lines[pos:]...)
+	return JoinLines(out), nil
+}
+
+// Compress deflates b at the default level. Compressing a delta lowers its
+// storage cost Δ without lowering the apply work Φ — the mechanism behind
+// the paper's Φ ≠ Δ scenario.
+func Compress(b []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		panic(err) // only fires on invalid level
+	}
+	if _, err := w.Write(b); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// Decompress inflates a Compress output.
+func Decompress(b []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("delta: decompress: %w", err)
+	}
+	return out, nil
+}

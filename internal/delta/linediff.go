@@ -1,0 +1,289 @@
+// Package delta implements the differencing mechanisms of the paper's §2.1
+// "Delta Variants": UNIX-style line diffs (via Myers' O(ND) algorithm) in
+// one-way (directed) and two-way (symmetric, invertible) forms, XOR deltas
+// (symmetric by construction), and flate-compressed encodings of either.
+//
+// A delta's storage cost Δ is the byte size of its encoding; its recreation
+// cost Φ is the work to apply it. For uncompressed deltas Φ ∝ Δ (the
+// paper's proportional scenarios); compressing a delta shrinks Δ while
+// leaving the apply work unchanged, which is how the Φ ≠ Δ scenario arises.
+package delta
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Hunk is one contiguous modification: at line SrcPos of the source
+// (0-based, in the original coordinate space), Del lines are removed and
+// Ins lines are inserted.
+type Hunk struct {
+	SrcPos int
+	Del    []string
+	Ins    []string
+}
+
+// LineDelta is a line-based edit script transforming a source byte slice
+// into a target. It stores deleted line content, so it is invertible
+// ("two-way" in the paper's terminology). Hunks are ordered by SrcPos and
+// non-overlapping.
+type LineDelta struct {
+	Hunks []Hunk
+}
+
+// SplitLines splits b into lines, keeping each line without its trailing
+// newline. A trailing newline does not create an empty final line.
+func SplitLines(b []byte) []string {
+	if len(b) == 0 {
+		return nil
+	}
+	s := string(b)
+	if s[len(s)-1] == '\n' {
+		s = s[:len(s)-1]
+	}
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	lines = append(lines, s[start:])
+	return lines
+}
+
+// JoinLines is the inverse of SplitLines (always emits a trailing newline
+// when there is at least one line).
+func JoinLines(lines []string) []byte {
+	if len(lines) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// DiffLines computes a two-way line delta from a to b using Myers' O(ND)
+// greedy algorithm.
+func DiffLines(a, b []byte) *LineDelta {
+	al := SplitLines(a)
+	bl := SplitLines(b)
+	ses := myers(al, bl)
+	return sesToHunks(al, bl, ses)
+}
+
+// opKind is a shortest-edit-script element.
+type opKind byte
+
+const (
+	opKeep opKind = iota
+	opDel
+	opIns
+)
+
+// myers returns the shortest edit script as a sequence of ops over a and b.
+func myers(a, b []string) []opKind {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return nil
+	}
+	maxD := n + m
+	// v[k+offset] = furthest x on diagonal k.
+	offset := maxD
+	v := make([]int, 2*maxD+1)
+	// trace saves v per d for backtracking.
+	trace := make([][]int, 0, maxD+1)
+	var dFound = -1
+outer:
+	for d := 0; d <= maxD; d++ {
+		vc := make([]int, 2*maxD+1)
+		copy(vc, v)
+		trace = append(trace, vc)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+offset] < v[k+1+offset]) {
+				x = v[k+1+offset] // down: insertion
+			} else {
+				x = v[k-1+offset] + 1 // right: deletion
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[k+offset] = x
+			if x >= n && y >= m {
+				dFound = d
+				break outer
+			}
+		}
+	}
+	// Backtrack.
+	var revOps []opKind
+	x, y := n, m
+	for d := dFound; d > 0; d-- {
+		vprev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vprev[k-1+offset] < vprev[k+1+offset]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vprev[prevK+offset]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			revOps = append(revOps, opKeep)
+			x--
+			y--
+		}
+		if d > 0 {
+			if x == prevX {
+				revOps = append(revOps, opIns)
+				y--
+			} else {
+				revOps = append(revOps, opDel)
+				x--
+			}
+		}
+	}
+	for x > 0 && y > 0 {
+		revOps = append(revOps, opKeep)
+		x--
+		y--
+	}
+	for x > 0 {
+		revOps = append(revOps, opDel)
+		x--
+	}
+	for y > 0 {
+		revOps = append(revOps, opIns)
+		y--
+	}
+	// Reverse.
+	for i, j := 0, len(revOps)-1; i < j; i, j = i+1, j-1 {
+		revOps[i], revOps[j] = revOps[j], revOps[i]
+	}
+	return revOps
+}
+
+// sesToHunks groups a shortest edit script into hunks.
+func sesToHunks(a, b []string, ops []opKind) *LineDelta {
+	d := &LineDelta{}
+	ai, bi := 0, 0
+	var cur *Hunk
+	flush := func() {
+		if cur != nil {
+			d.Hunks = append(d.Hunks, *cur)
+			cur = nil
+		}
+	}
+	for _, op := range ops {
+		switch op {
+		case opKeep:
+			flush()
+			ai++
+			bi++
+		case opDel:
+			if cur == nil {
+				cur = &Hunk{SrcPos: ai}
+			}
+			cur.Del = append(cur.Del, a[ai])
+			ai++
+		case opIns:
+			if cur == nil {
+				cur = &Hunk{SrcPos: ai}
+			}
+			cur.Ins = append(cur.Ins, b[bi])
+			bi++
+		}
+	}
+	flush()
+	return d
+}
+
+// Apply transforms src (which must equal the original a) into the target b.
+func (d *LineDelta) Apply(src []byte) ([]byte, error) {
+	lines := SplitLines(src)
+	var out []string
+	pos := 0
+	for hi, h := range d.Hunks {
+		if h.SrcPos < pos || h.SrcPos > len(lines) {
+			return nil, fmt.Errorf("delta: hunk %d at %d out of order (pos %d, %d lines)", hi, h.SrcPos, pos, len(lines))
+		}
+		out = append(out, lines[pos:h.SrcPos]...)
+		pos = h.SrcPos
+		if pos+len(h.Del) > len(lines) {
+			return nil, fmt.Errorf("delta: hunk %d deletes past end of source", hi)
+		}
+		for i, dl := range h.Del {
+			if lines[pos+i] != dl {
+				return nil, fmt.Errorf("delta: hunk %d context mismatch at line %d", hi, pos+i)
+			}
+		}
+		pos += len(h.Del)
+		out = append(out, h.Ins...)
+	}
+	out = append(out, lines[pos:]...)
+	return JoinLines(out), nil
+}
+
+// Invert returns the delta transforming b back into a (swap of Del/Ins with
+// positions mapped into b's coordinate space).
+func (d *LineDelta) Invert() *LineDelta {
+	inv := &LineDelta{Hunks: make([]Hunk, len(d.Hunks))}
+	shift := 0 // cumulative (ins - del) so far: position adjustment into b
+	for i, h := range d.Hunks {
+		inv.Hunks[i] = Hunk{
+			SrcPos: h.SrcPos + shift,
+			Del:    append([]string(nil), h.Ins...),
+			Ins:    append([]string(nil), h.Del...),
+		}
+		shift += len(h.Ins) - len(h.Del)
+	}
+	return inv
+}
+
+// SizeTwoWay is the storage footprint of the invertible delta: positions
+// plus both deleted and inserted content.
+func (d *LineDelta) SizeTwoWay() int {
+	size := 0
+	for _, h := range d.Hunks {
+		size += 8 // position + lengths bookkeeping
+		for _, l := range h.Del {
+			size += len(l) + 1
+		}
+		for _, l := range h.Ins {
+			size += len(l) + 1
+		}
+	}
+	return size
+}
+
+// SizeOneWay is the storage footprint of the forward-only delta: deleted
+// content is replaced by a count, which is what makes directed deltas
+// asymmetric — "delete all tuples with age > 60" is tiny forward and large
+// backward (paper §2.1).
+func (d *LineDelta) SizeOneWay() int {
+	size := 0
+	for _, h := range d.Hunks {
+		size += 12 // position + delete-count + lengths
+		for _, l := range h.Ins {
+			size += len(l) + 1
+		}
+	}
+	return size
+}
+
+// NumEdits returns the total number of deleted plus inserted lines.
+func (d *LineDelta) NumEdits() int {
+	n := 0
+	for _, h := range d.Hunks {
+		n += len(h.Del) + len(h.Ins)
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// XOR computes a symmetric XOR delta between a and b: applying the result
+// to a yields b and vice versa (the paper's canonical symmetric delta).
+// The encoding is [uvarint len(a)][uvarint len(b)][xor bytes padded to the
+// longer input].
+func XOR(a, b []byte) []byte {
+	n := max(len(a), len(b))
+	buf := make([]byte, 0, n+2*binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, uint64(len(a)))
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	body := make([]byte, n)
+	for i := 0; i < n; i++ {
+		var x, y byte
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		body[i] = x ^ y
+	}
+	return append(buf, body...)
+}
+
+// ApplyXOR applies an XOR delta to src. src must have the length of either
+// original input; the output has the other input's length.
+func ApplyXOR(d, src []byte) ([]byte, error) {
+	la, n1 := binary.Uvarint(d)
+	if n1 <= 0 {
+		return nil, fmt.Errorf("delta: corrupt XOR header")
+	}
+	lb, n2 := binary.Uvarint(d[n1:])
+	if n2 <= 0 {
+		return nil, fmt.Errorf("delta: corrupt XOR header")
+	}
+	body := d[n1+n2:]
+	var outLen int
+	switch uint64(len(src)) {
+	case la:
+		outLen = int(lb)
+	case lb:
+		outLen = int(la)
+	default:
+		return nil, fmt.Errorf("delta: XOR source length %d matches neither side (%d, %d)", len(src), la, lb)
+	}
+	if outLen > len(body) {
+		return nil, fmt.Errorf("delta: XOR body too short: %d < %d", len(body), outLen)
+	}
+	out := make([]byte, outLen)
+	for i := range out {
+		var s byte
+		if i < len(src) {
+			s = src[i]
+		}
+		out[i] = body[i] ^ s
+	}
+	// Bytes of the delta beyond outLen must reproduce zero-extended src:
+	// they encode the tail of the longer side, which only matters when the
+	// output is the longer side (already covered by outLen > len(src)).
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package heaps
+
+// Pairing is an indexed pairing heap: a heap-ordered multiway tree with
+// O(1) insert/meld, O(1) amortized decrease-key, and O(log n) amortized
+// delete-min. It serves as the "Fibonacci heap" stand-in the paper cites
+// for the O(E + V log V) variants of Prim's and Dijkstra's algorithms.
+type Pairing struct {
+	root  *pairNode
+	nodes map[int]*pairNode
+	size  int
+}
+
+type pairNode struct {
+	item    int
+	prio    float64
+	child   *pairNode // leftmost child
+	sibling *pairNode // next sibling to the right
+	prev    *pairNode // parent if leftmost child, else left sibling
+}
+
+// NewPairing returns an empty pairing heap with capacity hint n.
+func NewPairing(n int) *Pairing {
+	return &Pairing{nodes: make(map[int]*pairNode, n)}
+}
+
+// Len reports the number of items in the heap.
+func (h *Pairing) Len() int { return h.size }
+
+// Contains reports whether item is in the heap.
+func (h *Pairing) Contains(item int) bool {
+	_, ok := h.nodes[item]
+	return ok
+}
+
+// Priority returns the current priority of item and whether it is present.
+func (h *Pairing) Priority(item int) (float64, bool) {
+	n, ok := h.nodes[item]
+	if !ok {
+		return 0, false
+	}
+	return n.prio, true
+}
+
+// Push inserts item with the given priority, or adjusts its priority if it
+// is already present (decrease only; increases are handled by remove+insert).
+func (h *Pairing) Push(item int, priority float64) {
+	if n, ok := h.nodes[item]; ok {
+		if priority < n.prio {
+			h.DecreaseKey(item, priority)
+		} else if priority > n.prio {
+			h.removeNode(n)
+			h.insertNew(item, priority)
+		}
+		return
+	}
+	h.insertNew(item, priority)
+}
+
+func (h *Pairing) insertNew(item int, priority float64) {
+	n := &pairNode{item: item, prio: priority}
+	h.nodes[item] = n
+	h.root = meld(h.root, n)
+	h.size++
+}
+
+// DecreaseKey lowers the priority of item. No-op when not lower or absent.
+func (h *Pairing) DecreaseKey(item int, priority float64) {
+	n, ok := h.nodes[item]
+	if !ok || priority >= n.prio {
+		return
+	}
+	n.prio = priority
+	if n == h.root {
+		return
+	}
+	h.cut(n)
+	h.root = meld(h.root, n)
+}
+
+// Pop removes and returns the item with the minimum priority.
+// It panics if the heap is empty.
+func (h *Pairing) Pop() (int, float64) {
+	if h.root == nil {
+		panic("heaps: Pop from empty Pairing heap")
+	}
+	top := h.root
+	h.root = mergePairs(top.child)
+	if h.root != nil {
+		h.root.prev = nil
+		h.root.sibling = nil
+	}
+	delete(h.nodes, top.item)
+	h.size--
+	return top.item, top.prio
+}
+
+// Peek returns the minimum item without removing it.
+// It panics if the heap is empty.
+func (h *Pairing) Peek() (int, float64) {
+	if h.root == nil {
+		panic("heaps: Peek on empty Pairing heap")
+	}
+	return h.root.item, h.root.prio
+}
+
+// Remove deletes item from the heap if present, returning whether it was.
+func (h *Pairing) Remove(item int) bool {
+	n, ok := h.nodes[item]
+	if !ok {
+		return false
+	}
+	h.removeNode(n)
+	return true
+}
+
+func (h *Pairing) removeNode(n *pairNode) {
+	if n == h.root {
+		h.Pop()
+		return
+	}
+	h.cut(n)
+	sub := mergePairs(n.child)
+	if sub != nil {
+		sub.prev = nil
+		sub.sibling = nil
+		h.root = meld(h.root, sub)
+	}
+	delete(h.nodes, n.item)
+	h.size--
+}
+
+// cut detaches n (a non-root node) from its parent/sibling list.
+func (h *Pairing) cut(n *pairNode) {
+	if n.prev.child == n { // n is the leftmost child: prev is the parent
+		n.prev.child = n.sibling
+	} else {
+		n.prev.sibling = n.sibling
+	}
+	if n.sibling != nil {
+		n.sibling.prev = n.prev
+	}
+	n.prev = nil
+	n.sibling = nil
+}
+
+// meld links two heap-ordered trees, returning the smaller root.
+func meld(a, b *pairNode) *pairNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.prio < a.prio {
+		a, b = b, a
+	}
+	// b becomes the leftmost child of a.
+	b.prev = a
+	b.sibling = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	a.sibling = nil
+	return a
+}
+
+// mergePairs performs the two-pass pairing over a sibling list.
+func mergePairs(first *pairNode) *pairNode {
+	if first == nil || first.sibling == nil {
+		return first
+	}
+	a, b := first, first.sibling
+	rest := b.sibling
+	a.sibling, a.prev = nil, nil
+	b.sibling, b.prev = nil, nil
+	return meld(meld(a, b), mergePairs(rest))
+}

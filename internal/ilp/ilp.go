@@ -1,0 +1,189 @@
+// Package ilp materializes the paper's §2.3 integer linear program for
+// Problem 6 (minimize total storage subject to max recreation ≤ θ):
+//
+//	minimize   Σ x_ij · Δij
+//	subject to Σ_i x_ij = 1                      ∀j          (one parent)
+//	           Φij + r_i − r_j ≤ (1 − x_ij)·C    ∀(i,j)      (big-C chain)
+//	           r_i ≤ θ, r_0 = 0, x_ij ∈ {0,1}
+//
+// The paper solved this model with the Gurobi optimizer; this package
+// builds the identical model from an augmented graph, writes it in CPLEX LP
+// format (readable by Gurobi/CPLEX/HiGHS/lp_solve), and verifies candidate
+// storage graphs against the constraints — the cross-check used to confirm
+// that the module's exact branch-and-bound solver and the ILP agree.
+package ilp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"versiondb/internal/graph"
+)
+
+// Variable names follow the paper: x_i_j selects edge i→j, r_i is the
+// recreation cost of vertex i.
+
+// Model is the §2.3 ILP for one problem instance.
+type Model struct {
+	N     int     // vertices of the augmented graph (0 = dummy root)
+	Theta float64 // the max-recreation bound θ
+	BigC  float64 // the "sufficiently large" linearization constant (2θ)
+	Edges []graph.Edge
+}
+
+// Build constructs the model from an augmented graph and θ. Edges are
+// sorted (from, to) for deterministic output.
+func Build(g *graph.Graph, theta float64) *Model {
+	edges := g.Edges()
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	return &Model{
+		N:     g.N(),
+		Theta: theta,
+		BigC:  2 * theta, // the paper: "C here can be set as 2∗θ"
+		Edges: edges,
+	}
+}
+
+// NumBinaryVars returns the number of x variables.
+func (m *Model) NumBinaryVars() int { return len(m.Edges) }
+
+// NumConstraints returns the constraint count: one parent constraint per
+// non-root vertex, one big-C constraint per edge, one bound per vertex.
+func (m *Model) NumConstraints() int { return (m.N - 1) + len(m.Edges) + (m.N - 1) }
+
+// WriteLP emits the model in CPLEX LP format.
+func (m *Model) WriteLP(w io.Writer) error {
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := write("\\ Problem 6 ILP (Bhattacherjee et al., VLDB 2015, §2.3)\n"); err != nil {
+		return err
+	}
+	if err := write("\\ theta = %g, bigC = %g\n", m.Theta, m.BigC); err != nil {
+		return err
+	}
+	if err := write("Minimize\n obj:"); err != nil {
+		return err
+	}
+	for i, e := range m.Edges {
+		sep := " +"
+		if i == 0 {
+			sep = ""
+		}
+		if err := write("%s %g x_%d_%d", sep, e.Storage, e.From, e.To); err != nil {
+			return err
+		}
+	}
+	if err := write("\nSubject To\n"); err != nil {
+		return err
+	}
+	// (1) exactly one in-edge per non-root vertex.
+	in := make([][]graph.Edge, m.N)
+	for _, e := range m.Edges {
+		in[e.To] = append(in[e.To], e)
+	}
+	for j := 1; j < m.N; j++ {
+		if err := write(" parent_%d:", j); err != nil {
+			return err
+		}
+		for k, e := range in[j] {
+			sep := " +"
+			if k == 0 {
+				sep = ""
+			}
+			if err := write("%s x_%d_%d", sep, e.From, e.To); err != nil {
+				return err
+			}
+		}
+		if err := write(" = 1\n"); err != nil {
+			return err
+		}
+	}
+	// (2) big-C linearized chain constraints:
+	// Φij + r_i − r_j + C·x_ij ≤ C.
+	for _, e := range m.Edges {
+		if err := write(" chain_%d_%d: r_%d - r_%d + %g x_%d_%d <= %g\n",
+			e.From, e.To, e.From, e.To, m.BigC, e.From, e.To, m.BigC-e.Recreate); err != nil {
+			return err
+		}
+	}
+	// (3) recreation bounds.
+	for i := 1; i < m.N; i++ {
+		if err := write(" bound_%d: r_%d <= %g\n", i, i, m.Theta); err != nil {
+			return err
+		}
+	}
+	if err := write(" root: r_0 = 0\n"); err != nil {
+		return err
+	}
+	if err := write("Bounds\n"); err != nil {
+		return err
+	}
+	for i := 1; i < m.N; i++ {
+		if err := write(" 0 <= r_%d <= %g\n", i, m.Theta); err != nil {
+			return err
+		}
+	}
+	if err := write("Binary\n"); err != nil {
+		return err
+	}
+	for _, e := range m.Edges {
+		if err := write(" x_%d_%d\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	return write("End\n")
+}
+
+// Verify checks a storage tree against the model's constraints, returning
+// its objective value. This is Lemma 4's equivalence, executed: a valid
+// tree yields a feasible ILP assignment (x from the tree edges, r from the
+// recreation costs) and vice versa.
+func (m *Model) Verify(t *graph.Tree) (float64, error) {
+	if t.N() != m.N {
+		return 0, fmt.Errorf("ilp: tree spans %d vertices, model has %d", t.N(), m.N)
+	}
+	if err := t.Validate(); err != nil {
+		return 0, fmt.Errorf("ilp: %w", err)
+	}
+	// The tree's edges must all exist in the model.
+	have := map[[2]int]bool{}
+	for _, e := range m.Edges {
+		have[[2]int{e.From, e.To}] = true
+	}
+	var objective float64
+	for v := 0; v < m.N; v++ {
+		if v == t.Root {
+			continue
+		}
+		if !have[[2]int{t.Parent[v], v}] {
+			return 0, fmt.Errorf("ilp: tree edge %d→%d not in model", t.Parent[v], v)
+		}
+		objective += t.Storage[v]
+	}
+	// r_i from the tree; bound constraints.
+	r := t.RecreationCosts()
+	for v := 1; v < m.N; v++ {
+		if r[v] > m.Theta+1e-9 {
+			return 0, fmt.Errorf("ilp: r_%d = %g violates θ = %g", v, r[v], m.Theta)
+		}
+	}
+	// Chain constraints for selected edges: Φij + r_i ≤ r_j (x=1 case).
+	for v := 0; v < m.N; v++ {
+		if v == t.Root {
+			continue
+		}
+		p := t.Parent[v]
+		if t.Recreate[v]+r[p] > r[v]+1e-9 {
+			return 0, fmt.Errorf("ilp: chain constraint violated at %d→%d", p, v)
+		}
+	}
+	return objective, nil
+}

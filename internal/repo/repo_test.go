@@ -1,0 +1,297 @@
+package repo
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"versiondb/internal/dataset"
+)
+
+func newRepo(t *testing.T) *Repo {
+	t.Helper()
+	r, err := Init(t.TempDir())
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	return r
+}
+
+func csvPayload(t testing.TB, rng *rand.Rand, rows int) []byte {
+	t.Helper()
+	tb := dataset.Random(rng, rows, 4)
+	b, err := tb.EncodeCSV()
+	if err != nil {
+		t.Fatalf("EncodeCSV: %v", err)
+	}
+	return b
+}
+
+func TestInitTwiceFails(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Init(dir); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	if _, err := Init(dir); err == nil {
+		t.Errorf("double Init succeeded")
+	}
+}
+
+func TestCommitCheckoutRoundTrip(t *testing.T) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(1))
+	var want [][]byte
+	for i := 0; i < 8; i++ {
+		p := csvPayload(t, rng, 40+i)
+		id, err := r.Commit(DefaultBranch, p, fmt.Sprintf("commit %d", i))
+		if err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+		if id != i {
+			t.Fatalf("commit id %d, want %d", id, i)
+		}
+		want = append(want, p)
+	}
+	for v, p := range want {
+		got, err := r.Checkout(v)
+		if err != nil {
+			t.Fatalf("Checkout(%d): %v", v, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("Checkout(%d) mismatch", v)
+		}
+	}
+	if _, err := r.Checkout(99); err == nil {
+		t.Errorf("Checkout out of range succeeded")
+	}
+}
+
+func TestCommitToUnknownBranchFails(t *testing.T) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := r.Commit(DefaultBranch, csvPayload(t, rng, 10), "root"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if _, err := r.Commit("nonexistent", csvPayload(t, rng, 10), "x"); err == nil {
+		t.Errorf("commit to unknown branch succeeded")
+	}
+}
+
+func TestBranchAndMerge(t *testing.T) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(3))
+	root, err := r.Commit(DefaultBranch, csvPayload(t, rng, 30), "root")
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := r.Branch("feature", root); err != nil {
+		t.Fatalf("Branch: %v", err)
+	}
+	if err := r.Branch("feature", root); err == nil {
+		t.Errorf("duplicate branch created")
+	}
+	if err := r.Branch("bad", 42); err == nil {
+		t.Errorf("branch at missing version created")
+	}
+	f1, err := r.Commit("feature", csvPayload(t, rng, 32), "feature work")
+	if err != nil {
+		t.Fatalf("Commit feature: %v", err)
+	}
+	m1, err := r.Commit(DefaultBranch, csvPayload(t, rng, 31), "master work")
+	if err != nil {
+		t.Fatalf("Commit master: %v", err)
+	}
+	// User-performed merge of feature into master.
+	merged, err := r.Merge(DefaultBranch, f1, csvPayload(t, rng, 33), "merge feature")
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	log := r.Log()
+	mi := log[merged]
+	if len(mi.Parents) != 2 || mi.Parents[0] != m1 || mi.Parents[1] != f1 {
+		t.Errorf("merge parents = %v, want [%d %d]", mi.Parents, m1, f1)
+	}
+	if tip, _ := r.Tip(DefaultBranch); tip != merged {
+		t.Errorf("master tip = %d, want %d", tip, merged)
+	}
+	// Error paths.
+	if _, err := r.Merge("nope", f1, nil, ""); err == nil {
+		t.Errorf("merge into unknown branch succeeded")
+	}
+	if _, err := r.Merge(DefaultBranch, 999, nil, ""); err == nil {
+		t.Errorf("merge of missing version succeeded")
+	}
+	if _, err := r.Merge(DefaultBranch, merged, nil, ""); err == nil {
+		t.Errorf("merge of branch tip into itself succeeded")
+	}
+}
+
+func TestBranchesSorted(t *testing.T) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(4))
+	root, _ := r.Commit(DefaultBranch, csvPayload(t, rng, 10), "root")
+	_ = r.Branch("zeta", root)
+	_ = r.Branch("alpha", root)
+	got := r.Branches()
+	if len(got) != 3 || got[0] != "alpha" || got[1] != DefaultBranch || got[2] != "zeta" {
+		t.Errorf("Branches = %v", got)
+	}
+	if _, err := r.Tip("zeta"); err != nil {
+		t.Errorf("Tip(zeta): %v", err)
+	}
+	if _, err := r.Tip("missing"); err == nil {
+		t.Errorf("Tip on missing branch succeeded")
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	var want [][]byte
+	{
+		r, err := Init(dir)
+		if err != nil {
+			t.Fatalf("Init: %v", err)
+		}
+		for i := 0; i < 5; i++ {
+			p := csvPayload(t, rng, 20+i)
+			if _, err := r.Commit(DefaultBranch, p, "c"); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+			want = append(want, p)
+		}
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if r.NumVersions() != 5 {
+		t.Fatalf("NumVersions = %d", r.NumVersions())
+	}
+	for v, p := range want {
+		got, err := r.Checkout(v)
+		if err != nil || !bytes.Equal(got, p) {
+			t.Errorf("Checkout(%d) after reopen failed: %v", v, err)
+		}
+	}
+}
+
+func TestOpenMissingRepo(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Errorf("Open on empty dir succeeded")
+	}
+}
+
+// buildBranchyRepo commits a root, two diverging branches, and a merge.
+func buildBranchyRepo(t *testing.T, seedOffset int64) (*Repo, [][]byte) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(6 + seedOffset))
+	base := dataset.Random(rng, 60, 5)
+	var payloads [][]byte
+	commit := func(branch string, tb *dataset.Table, msg string) *dataset.Table {
+		b, err := tb.EncodeCSV()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Commit(branch, b, msg); err != nil {
+			t.Fatalf("Commit(%s): %v", branch, err)
+		}
+		payloads = append(payloads, b)
+		return tb
+	}
+	evolve := func(tb *dataset.Table) *dataset.Table {
+		s := dataset.RandomScript(rng, tb.NumRows(), tb.NumCols(), 2)
+		out, err := s.Apply(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cur := commit(DefaultBranch, base, "root")
+	if err := r.Branch("side", 0); err != nil {
+		t.Fatal(err)
+	}
+	side := cur
+	for i := 0; i < 3; i++ {
+		cur = commit(DefaultBranch, evolve(cur), "main")
+		side = commit("side", evolve(side), "side")
+	}
+	tip, _ := r.Tip("side")
+	mergedTable := evolve(cur)
+	b, _ := mergedTable.EncodeCSV()
+	if _, err := r.Merge(DefaultBranch, tip, b, "merge side"); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	payloads = append(payloads, b)
+	return r, payloads
+}
+
+func TestOptimizeObjectivesPreserveContent(t *testing.T) {
+	objectives := []struct {
+		name string
+		opts OptimizeOptions
+	}{
+		{"min-storage", OptimizeOptions{Objective: MinStorageObjective, RevealHops: 4}},
+		{"sum-recreation", OptimizeOptions{Objective: SumRecreationObjective, BudgetFactor: 1.3, RevealHops: 4}},
+		{"max-recreation", OptimizeOptions{Objective: MaxRecreationObjective, RevealHops: 4}},
+		{"compressed", OptimizeOptions{Objective: MinStorageObjective, RevealHops: 4, Compress: true}},
+	}
+	for i, tc := range objectives {
+		t.Run(tc.name, func(t *testing.T) {
+			r, payloads := buildBranchyRepo(t, int64(i))
+			sol, err := r.Optimize(tc.opts)
+			if err != nil {
+				t.Fatalf("Optimize: %v", err)
+			}
+			if sol.Storage <= 0 {
+				t.Errorf("solution storage %g", sol.Storage)
+			}
+			for v, p := range payloads {
+				got, err := r.Checkout(v)
+				if err != nil {
+					t.Fatalf("Checkout(%d): %v", v, err)
+				}
+				if !bytes.Equal(got, p) {
+					t.Errorf("version %d corrupted by optimize", v)
+				}
+			}
+		})
+	}
+}
+
+func TestOptimizeReducesStorage(t *testing.T) {
+	r, payloads := buildBranchyRepo(t, 99)
+	var logical int64
+	for _, p := range payloads {
+		logical += int64(len(p))
+	}
+	if _, err := r.Optimize(OptimizeOptions{Objective: MinStorageObjective, RevealHops: 6}); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	st := r.Stats()
+	if st.StoredBytes >= logical {
+		t.Errorf("optimized storage %d not below logical %d", st.StoredBytes, logical)
+	}
+	if st.Materialized < 1 {
+		t.Errorf("no materialized versions")
+	}
+	if st.Versions != len(payloads) {
+		t.Errorf("stats versions %d, want %d", st.Versions, len(payloads))
+	}
+}
+
+func TestOptimizeEmptyRepo(t *testing.T) {
+	r := newRepo(t)
+	if _, err := r.Optimize(OptimizeOptions{}); err == nil {
+		t.Errorf("Optimize on empty repo succeeded")
+	}
+}
+
+func TestStatsOnFreshRepo(t *testing.T) {
+	r := newRepo(t)
+	st := r.Stats()
+	if st.Versions != 0 || st.StoredBytes != 0 {
+		t.Errorf("fresh stats = %+v", st)
+	}
+}

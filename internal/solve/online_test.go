@@ -1,0 +1,205 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"versiondb/internal/costs"
+	"versiondb/internal/workload"
+)
+
+// onlineFeed replays a workload matrix version-by-version, revealing each
+// arriving version's deltas from already-present versions.
+func onlineFeed(t testing.TB, o *Online, m *costs.Matrix) error {
+	t.Helper()
+	for v := 0; v < m.N(); v++ {
+		full, ok := m.Full(v)
+		if !ok {
+			t.Fatalf("version %d missing full cost", v)
+		}
+		in := map[int]costs.Pair{}
+		for u := 0; u < v; u++ {
+			if p, ok := m.Delta(u, v); ok {
+				in[u] = p
+			}
+		}
+		if _, err := o.Add(full, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestOnlineMinDeltaBasics(t *testing.T) {
+	o := NewOnline(OnlineOptions{Policy: OnlineMinDelta, Directed: true})
+	v0, err := o.Add(costs.Pair{Storage: 1000, Recreate: 1000}, nil)
+	if err != nil || v0 != 0 {
+		t.Fatalf("Add root: %d, %v", v0, err)
+	}
+	if !o.Materialized(0) {
+		t.Errorf("first version not materialized")
+	}
+	v1, err := o.Add(costs.Pair{Storage: 1010, Recreate: 1010},
+		map[int]costs.Pair{0: {Storage: 30, Recreate: 30}})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if o.Materialized(v1) {
+		t.Errorf("cheap delta not chosen")
+	}
+	if o.Storage() != 1030 {
+		t.Errorf("storage = %g, want 1030", o.Storage())
+	}
+	if o.RecreationCost(v1) != 1030 {
+		t.Errorf("R[1] = %g, want 1030", o.RecreationCost(v1))
+	}
+	if o.SumRecreation() != 2030 || o.MaxRecreation() != 1030 {
+		t.Errorf("aggregates wrong: %g %g", o.SumRecreation(), o.MaxRecreation())
+	}
+}
+
+func TestOnlineAddValidation(t *testing.T) {
+	o := NewOnline(OnlineOptions{})
+	if _, err := o.Add(costs.Pair{Storage: -1, Recreate: 1}, nil); err == nil {
+		t.Errorf("negative costs accepted")
+	}
+	if _, err := o.Add(costs.Pair{Storage: 1, Recreate: 1},
+		map[int]costs.Pair{5: {}}); err == nil {
+		t.Errorf("delta from unknown version accepted")
+	}
+}
+
+func TestOnlineBoundedRespectsTheta(t *testing.T) {
+	theta := 1500.0
+	o := NewOnline(OnlineOptions{Policy: OnlineBounded, Theta: theta})
+	if _, err := o.Add(costs.Pair{Storage: 1000, Recreate: 1000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Cheapest delta would blow the bound; a pricier one fits.
+	v, err := o.Add(costs.Pair{Storage: 1020, Recreate: 1020}, map[int]costs.Pair{
+		0: {Storage: 10, Recreate: 900}, // 1000+900 > θ
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Materialized(v) {
+		t.Errorf("bound-violating delta chosen")
+	}
+	if o.MaxRecreation() > theta {
+		t.Errorf("θ violated: %g", o.MaxRecreation())
+	}
+	// Infeasible version: even materializing violates θ.
+	if _, err := o.Add(costs.Pair{Storage: 9000, Recreate: 9000}, nil); err == nil {
+		t.Errorf("infeasible version accepted")
+	}
+}
+
+func TestQuickOnlineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := workload.Build(workload.DC, 30+rng.Intn(30), true, seed)
+		if err != nil {
+			return false
+		}
+		inst, err := NewInstance(m)
+		if err != nil {
+			return false
+		}
+		offline, err := MinStorage(inst)
+		if err != nil {
+			return false
+		}
+		o := NewOnline(OnlineOptions{Policy: OnlineMinDelta, Directed: true})
+		if err := onlineFeed(t, o, m); err != nil {
+			t.Logf("feed: %v", err)
+			return false
+		}
+		// Online can never beat the offline optimum, and must not exceed
+		// storing everything whole.
+		if o.Storage() < offline.Storage-1e-6 {
+			t.Logf("online %g beat offline optimum %g", o.Storage(), offline.Storage)
+			return false
+		}
+		if o.Storage() > m.TotalFullStorage()+1e-6 {
+			t.Logf("online %g worse than storing everything", o.Storage())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOnlineBoundedTheta(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := workload.Build(workload.DC, 30+rng.Intn(20), true, seed)
+		if err != nil {
+			return false
+		}
+		// θ = 2× the largest version size: always feasible by materializing.
+		var maxSize float64
+		for v := 0; v < m.N(); v++ {
+			p, _ := m.Full(v)
+			if p.Recreate > maxSize {
+				maxSize = p.Recreate
+			}
+		}
+		theta := 2 * maxSize
+		o := NewOnline(OnlineOptions{Policy: OnlineBounded, Theta: theta, Directed: true})
+		if err := onlineFeed(t, o, m); err != nil {
+			t.Logf("feed: %v", err)
+			return false
+		}
+		return o.MaxRecreation() <= theta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineReoptimizeImprovesOrMatches(t *testing.T) {
+	m, err := workload.Build(workload.DC, 60, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOnline(OnlineOptions{Policy: OnlineMinDelta, Directed: true})
+	if err := onlineFeed(t, o, m); err != nil {
+		t.Fatal(err)
+	}
+	beforeStorage := o.Storage()
+	beforeSumR := o.SumRecreation()
+	sol, err := o.Reoptimize(1.2)
+	if err != nil {
+		t.Fatalf("Reoptimize: %v", err)
+	}
+	if o.Storage() != sol.Storage {
+		t.Errorf("adopted storage %g != solution %g", o.Storage(), sol.Storage)
+	}
+	// LMG with budget 1.2×MCA: storage within budget, ΣR should not be
+	// worse than the greedy online chains it replaces.
+	if o.SumRecreation() > beforeSumR+1e-6 {
+		t.Errorf("reoptimize worsened ΣR: %g → %g", beforeSumR, o.SumRecreation())
+	}
+	t.Logf("online: storage %g ΣR %g → reoptimized: storage %g ΣR %g",
+		beforeStorage, beforeSumR, o.Storage(), o.SumRecreation())
+	// Recreation costs adopted from the tree must be consistent.
+	parents, d, _ := o.Snapshot()
+	for v := range parents {
+		if parents[v] == -1 {
+			continue
+		}
+		if d[v] <= d[parents[v]] {
+			t.Errorf("recreation cost not increasing along chain at %d", v)
+		}
+	}
+}
+
+func TestOnlineReoptimizeEmpty(t *testing.T) {
+	o := NewOnline(OnlineOptions{})
+	if _, err := o.Reoptimize(1.5); err == nil {
+		t.Errorf("reoptimize on empty store succeeded")
+	}
+}

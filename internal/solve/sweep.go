@@ -1,0 +1,216 @@
+package solve
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem3 minimizes Σ recreation cost under a storage budget β — LMG is
+// the paper's heuristic of choice (Table 1, row 3).
+func Problem3(inst *Instance, beta float64) (*Solution, error) {
+	return LMG(inst, LMGOptions{Budget: beta})
+}
+
+// Problem4 minimizes the max recreation cost under storage budget β via an
+// outer binary search on θ over the MP algorithm (paper §4.2: "the solution
+// for Problem 4 is similar"). It returns the best feasible solution found.
+func Problem4(inst *Instance, beta float64, iters int) (*Solution, error) {
+	mst, err := MinStorage(inst)
+	if err != nil {
+		return nil, err
+	}
+	if beta < mst.Storage {
+		return nil, fmt.Errorf("solve: Problem4 budget %g below minimum storage %g", beta, mst.Storage)
+	}
+	spt, err := MinRecreation(inst)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := spt.MaxR, mst.MaxR
+	if hi < lo {
+		hi = lo
+	}
+	var bestSol *Solution
+	// MP(θ=maxR of MST) is always feasible within any β ≥ MST storage only
+	// if MP finds a tree at least that good; fall back to the MST itself.
+	if s, err := MP(inst, hi); err == nil && s.Storage <= beta {
+		bestSol = s
+	} else {
+		bestSol = mst
+	}
+	if iters <= 0 {
+		iters = 40
+	}
+	for i := 0; i < iters && hi-lo > 1e-9*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		s, err := MP(inst, mid)
+		if err == nil && s.Storage <= beta {
+			if s.MaxR <= bestSol.MaxR {
+				bestSol = s
+			}
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return bestSol, nil
+}
+
+// Problem5 minimizes total storage under a bound θ on the sum of recreation
+// costs, via binary search on the LMG storage budget (paper §4.1: "solved by
+// repeated iterations and binary search").
+func Problem5(inst *Instance, theta float64, iters int) (*Solution, error) {
+	mst, err := MinStorage(inst)
+	if err != nil {
+		return nil, err
+	}
+	spt, err := MinRecreation(inst)
+	if err != nil {
+		return nil, err
+	}
+	if spt.SumR > theta {
+		return nil, fmt.Errorf("solve: Problem5 θ=%g infeasible, minimum Σ recreation is %g", theta, spt.SumR)
+	}
+	if mst.SumR <= theta {
+		return mst, nil
+	}
+	lo, hi := mst.Storage, spt.Storage
+	best := spt
+	if iters <= 0 {
+		iters = 40
+	}
+	for i := 0; i < iters && hi-lo > 1e-9*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		s, err := LMG(inst, LMGOptions{Budget: mid, MST: mst, SPT: spt})
+		if err != nil {
+			return nil, err
+		}
+		if s.SumR <= theta {
+			if s.Storage <= best.Storage {
+				best = s
+			}
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+// Problem6 minimizes total storage under a bound θ on the max recreation
+// cost — the MP algorithm's native problem.
+func Problem6(inst *Instance, theta float64) (*Solution, error) {
+	return MP(inst, theta)
+}
+
+// Budgets returns k storage budgets interpolated geometrically between the
+// minimum-storage cost and the SPT (everything-materialized-at-best) cost,
+// the x-axis of the paper's Figures 13–15 tradeoff curves.
+func Budgets(inst *Instance, k int) ([]float64, error) {
+	mst, err := MinStorage(inst)
+	if err != nil {
+		return nil, err
+	}
+	spt, err := MinRecreation(inst)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := mst.Storage, spt.Storage
+	if hi <= lo {
+		hi = lo * 2
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		f := float64(i) / float64(max(k-1, 1))
+		out[i] = lo * math.Pow(hi/lo, f)
+	}
+	return out, nil
+}
+
+// Thetas returns k max-recreation bounds interpolated between the SPT max
+// recreation (minimum attainable) and the minimum-storage tree's max
+// recreation, the knob of the MP sweeps.
+func Thetas(inst *Instance, k int) ([]float64, error) {
+	mst, err := MinStorage(inst)
+	if err != nil {
+		return nil, err
+	}
+	spt, err := MinRecreation(inst)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := spt.MaxR, mst.MaxR
+	if hi <= lo {
+		hi = lo + 1
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		f := float64(i) / float64(max(k-1, 1))
+		out[i] = lo * math.Pow(hi/lo, f)
+	}
+	return out, nil
+}
+
+// SweepLMG runs LMG at each budget, computing the shared MST/MCA and SPT
+// inputs once.
+func SweepLMG(inst *Instance, budgets []float64, freq []float64) ([]*Solution, error) {
+	mst, err := MinStorage(inst)
+	if err != nil {
+		return nil, err
+	}
+	spt, err := MinRecreation(inst)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Solution, 0, len(budgets))
+	for _, b := range budgets {
+		s, err := LMG(inst, LMGOptions{Budget: b, Freq: freq, MST: mst, SPT: spt})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SweepMP runs MP at each θ, skipping infeasible points.
+func SweepMP(inst *Instance, thetas []float64) ([]*Solution, error) {
+	out := make([]*Solution, 0, len(thetas))
+	for _, th := range thetas {
+		s, err := MP(inst, th)
+		if err != nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("solve: SweepMP: every θ infeasible")
+	}
+	return out, nil
+}
+
+// SweepLAST runs LAST at each α.
+func SweepLAST(inst *Instance, alphas []float64) ([]*Solution, error) {
+	out := make([]*Solution, 0, len(alphas))
+	for _, a := range alphas {
+		s, err := LAST(inst, a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SweepGitH runs GitH at each configuration.
+func SweepGitH(inst *Instance, cfgs []GitHOptions) ([]*Solution, error) {
+	out := make([]*Solution, 0, len(cfgs))
+	for _, c := range cfgs {
+		s, err := GitH(inst, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

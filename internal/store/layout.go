@@ -1,0 +1,185 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"versiondb/internal/delta"
+	"versiondb/internal/graph"
+)
+
+// Entry describes how one version is physically stored.
+type Entry struct {
+	Materialized bool `json:"materialized"`
+	Parent       int  `json:"parent"` // version index of the delta base; -1 when materialized
+	Blob         ID   `json:"blob"`   // full payload or encoded delta
+	Compressed   bool `json:"compressed"`
+	StoredBytes  int  `json:"stored_bytes"`
+}
+
+// Layout places n version payloads into an object store according to a
+// storage tree over the augmented graph (vertex 0 = dummy root, vertex i+1
+// = version i).
+type Layout struct {
+	store   *ObjectStore
+	Entries []Entry `json:"entries"`
+}
+
+// BuildLayout writes every version into the store per the tree: children of
+// the root are stored whole; every other version is stored as the one-way
+// line delta from its tree parent. With compress=true both payloads and
+// deltas are flate-compressed, shrinking Δ while leaving apply work Φ
+// untouched — the paper's compressed-delta regime.
+func BuildLayout(s *ObjectStore, payloads [][]byte, tree *graph.Tree, compress bool) (*Layout, error) {
+	n := len(payloads)
+	if tree.N() != n+1 {
+		return nil, fmt.Errorf("store: tree spans %d vertices, want %d (versions+root)", tree.N(), n+1)
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("store: layout tree: %w", err)
+	}
+	l := &Layout{store: s, Entries: make([]Entry, n)}
+	for _, vtx := range tree.TopoOrder() {
+		if vtx == tree.Root {
+			continue
+		}
+		v := vtx - 1
+		parentVtx := tree.Parent[vtx]
+		var blob []byte
+		e := Entry{Parent: parentVtx - 1, Materialized: parentVtx == tree.Root}
+		if e.Materialized {
+			e.Parent = -1
+			blob = payloads[v]
+		} else {
+			d := delta.DiffLines(payloads[e.Parent], payloads[v])
+			blob = delta.Encode(d, true)
+		}
+		if compress {
+			blob = delta.Compress(blob)
+			e.Compressed = true
+		}
+		id, err := s.Put(blob)
+		if err != nil {
+			return nil, err
+		}
+		e.Blob = id
+		e.StoredBytes = len(blob)
+		l.Entries[v] = e
+	}
+	return l, nil
+}
+
+// Checkout reconstructs version v by walking its delta chain down from the
+// nearest materialized ancestor.
+func (l *Layout) Checkout(v int) ([]byte, error) {
+	if v < 0 || v >= len(l.Entries) {
+		return nil, fmt.Errorf("store: checkout version %d out of range [0,%d)", v, len(l.Entries))
+	}
+	// Collect the chain materialized → ... → v.
+	var chain []int
+	for u := v; ; u = l.Entries[u].Parent {
+		chain = append(chain, u)
+		if l.Entries[u].Materialized {
+			break
+		}
+		if len(chain) > len(l.Entries) {
+			return nil, fmt.Errorf("store: delta chain cycle at version %d", v)
+		}
+	}
+	var cur []byte
+	for i := len(chain) - 1; i >= 0; i-- {
+		u := chain[i]
+		blob, err := l.blobOf(u)
+		if err != nil {
+			return nil, err
+		}
+		if l.Entries[u].Materialized {
+			cur = blob
+			continue
+		}
+		cur, err = delta.ApplyEncoded(blob, cur)
+		if err != nil {
+			return nil, fmt.Errorf("store: checkout %d: applying delta for %d: %w", v, u, err)
+		}
+	}
+	return cur, nil
+}
+
+func (l *Layout) blobOf(v int) ([]byte, error) {
+	blob, err := l.store.Get(l.Entries[v].Blob)
+	if err != nil {
+		return nil, err
+	}
+	if l.Entries[v].Compressed {
+		if blob, err = delta.Decompress(blob); err != nil {
+			return nil, fmt.Errorf("store: version %d: %w", v, err)
+		}
+	}
+	return blob, nil
+}
+
+// CheckoutWork returns the total stored bytes read and applied to
+// reconstruct v — the physical counterpart of the model's recreation cost
+// Φ (materialized payload plus every delta on the chain).
+func (l *Layout) CheckoutWork(v int) int64 {
+	var work int64
+	for u := v; ; u = l.Entries[u].Parent {
+		work += int64(l.Entries[u].StoredBytes)
+		if l.Entries[u].Materialized {
+			return work
+		}
+	}
+}
+
+// ChainLength returns the number of deltas applied when checking out v.
+func (l *Layout) ChainLength(v int) int {
+	n := 0
+	for u := v; !l.Entries[u].Materialized; u = l.Entries[u].Parent {
+		n++
+	}
+	return n
+}
+
+// StoredBytes sums the physical footprint of all entries.
+func (l *Layout) StoredBytes() int64 {
+	var total int64
+	for _, e := range l.Entries {
+		total += int64(e.StoredBytes)
+	}
+	return total
+}
+
+// NumMaterialized counts fully stored versions.
+func (l *Layout) NumMaterialized() int {
+	n := 0
+	for _, e := range l.Entries {
+		if e.Materialized {
+			n++
+		}
+	}
+	return n
+}
+
+// Save persists the layout metadata as JSON under the store directory.
+func (l *Layout) Save() error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: save layout: %w", err)
+	}
+	return os.WriteFile(filepath.Join(l.store.Dir(), "layout.json"), data, 0o644)
+}
+
+// LoadLayout reads layout metadata from the store directory.
+func LoadLayout(s *ObjectStore) (*Layout, error) {
+	data, err := os.ReadFile(filepath.Join(s.Dir(), "layout.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: load layout: %w", err)
+	}
+	l := &Layout{store: s}
+	if err := json.Unmarshal(data, l); err != nil {
+		return nil, fmt.Errorf("store: load layout: %w", err)
+	}
+	return l, nil
+}

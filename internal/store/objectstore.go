@@ -1,0 +1,163 @@
+// Package store implements the prototype's on-disk physical layer: a
+// content-addressed object store (SHA-256) and a Layout that places version
+// payloads according to a chosen storage graph — materialized versions as
+// full blobs, the rest as (optionally compressed) line-delta blobs chained
+// along tree edges. Checkout walks the root→version path, exactly the
+// recreation procedure whose cost the paper's Φ models.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ID is the hex SHA-256 of a blob's content.
+type ID string
+
+// ObjectStore is a content-addressed blob store rooted at a directory.
+// Blobs live loose under objects/ or inside packfiles under packs/ (see
+// Repack); reads consult both.
+type ObjectStore struct {
+	dir   string
+	packs []*Pack
+}
+
+// Open creates (if needed) and opens an object store under dir, loading
+// any existing packfiles.
+func Open(dir string) (*ObjectStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	s := &ObjectStore{dir: dir}
+	paths, err := filepath.Glob(filepath.Join(dir, "packs", "*.pack"))
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	for _, p := range paths {
+		pack, err := OpenPack(p)
+		if err != nil {
+			return nil, err
+		}
+		s.packs = append(s.packs, pack)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *ObjectStore) Dir() string { return s.dir }
+
+func (s *ObjectStore) path(id ID) string {
+	h := string(id)
+	return filepath.Join(s.dir, "objects", h[:2], h[2:])
+}
+
+// HashBytes returns the content address of data.
+func HashBytes(data []byte) ID {
+	sum := sha256.Sum256(data)
+	return ID(hex.EncodeToString(sum[:]))
+}
+
+// Put writes data (idempotently) and returns its ID.
+func (s *ObjectStore) Put(data []byte) (ID, error) {
+	id := HashBytes(data)
+	if s.inPack(id) != nil {
+		return id, nil // already packed
+	}
+	p := s.path(id)
+	if _, err := os.Stat(p); err == nil {
+		return id, nil // already stored
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	return id, nil
+}
+
+// Get reads the blob with the given ID, verifying its content address.
+// Loose objects are preferred; packfiles are the fallback.
+func (s *ObjectStore) Get(id ID) ([]byte, error) {
+	if len(id) != 64 {
+		return nil, fmt.Errorf("store: malformed id %q", id)
+	}
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if pack := s.inPack(id); pack != nil {
+			return pack.Get(id)
+		}
+		return nil, fmt.Errorf("store: get %s: %w", shortID(id), err)
+	}
+	if HashBytes(data) != id {
+		return nil, fmt.Errorf("store: corrupt object %s", shortID(id))
+	}
+	return data, nil
+}
+
+// Has reports whether the blob exists, loose or packed.
+func (s *ObjectStore) Has(id ID) bool {
+	if len(id) != 64 {
+		return false
+	}
+	if _, err := os.Stat(s.path(id)); err == nil {
+		return true
+	}
+	return s.inPack(id) != nil
+}
+
+// inPack returns the pack containing id, if any.
+func (s *ObjectStore) inPack(id ID) *Pack {
+	for _, p := range s.packs {
+		if p.Has(id) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Delete removes a blob (used when re-laying-out after optimization).
+func (s *ObjectStore) Delete(id ID) error {
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %s: %w", shortID(id), err)
+	}
+	return nil
+}
+
+// TotalBytes sums the sizes of all stored blobs, loose and packed (pack
+// framing overhead included, as on disk).
+func (s *ObjectStore) TotalBytes() (int64, error) {
+	var total int64
+	for _, root := range []string{filepath.Join(s.dir, "objects"), filepath.Join(s.dir, "packs")} {
+		err := filepath.Walk(root, func(_ string, info os.FileInfo, err error) error {
+			if err != nil {
+				if os.IsNotExist(err) {
+					return filepath.SkipAll
+				}
+				return err
+			}
+			if !info.IsDir() {
+				total += info.Size()
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, fmt.Errorf("store: total: %w", err)
+		}
+	}
+	return total, nil
+}
+
+func shortID(id ID) string {
+	if len(id) > 12 {
+		return string(id[:12])
+	}
+	return string(id)
+}

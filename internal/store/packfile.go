@@ -1,0 +1,236 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Packfiles concatenate many blobs into one file, the mechanism git's
+// repack (§5.2, Appendix A) uses to avoid per-object filesystem overhead.
+// Format:
+//
+//	magic "VDBP0001"
+//	uvarint object count
+//	repeated: [32-byte raw SHA-256][uvarint length][payload]
+//
+// The index is rebuilt by a sequential scan at open; payloads are returned
+// by offset reads afterwards.
+
+const packMagic = "VDBP0001"
+
+// Pack is a read-only opened packfile.
+type Pack struct {
+	path  string
+	index map[ID]packEntry
+}
+
+type packEntry struct {
+	offset int64
+	size   int64
+}
+
+// WritePack writes the given blobs (by id, in deterministic id order) into
+// a packfile at path.
+func WritePack(path string, blobs map[ID][]byte) error {
+	ids := make([]ID, 0, len(blobs))
+	for id := range blobs {
+		if len(id) != 64 {
+			return fmt.Errorf("store: pack: malformed id %q", id)
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var buf bytes.Buffer
+	buf.WriteString(packMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(ids)))
+	buf.Write(tmp[:n])
+	for _, id := range ids {
+		raw, err := hex.DecodeString(string(id))
+		if err != nil {
+			return fmt.Errorf("store: pack: id %q: %w", id, err)
+		}
+		buf.Write(raw)
+		n := binary.PutUvarint(tmp[:], uint64(len(blobs[id])))
+		buf.Write(tmp[:n])
+		buf.Write(blobs[id])
+	}
+	tmpPath := path + ".tmp"
+	if err := os.WriteFile(tmpPath, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("store: pack: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("store: pack: %w", err)
+	}
+	return nil
+}
+
+// OpenPack scans a packfile and returns a handle with its index.
+func OpenPack(path string) (*Pack, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open pack: %w", err)
+	}
+	defer f.Close()
+	r := newCountingReader(f)
+	magic := make([]byte, len(packMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != packMagic {
+		return nil, fmt.Errorf("store: %s is not a packfile", path)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: pack %s: count: %w", path, err)
+	}
+	p := &Pack{path: path, index: make(map[ID]packEntry, count)}
+	rawID := make([]byte, 32)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, rawID); err != nil {
+			return nil, fmt.Errorf("store: pack %s: entry %d id: %w", path, i, err)
+		}
+		size, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: pack %s: entry %d size: %w", path, i, err)
+		}
+		id := ID(hex.EncodeToString(rawID))
+		p.index[id] = packEntry{offset: r.n, size: int64(size)}
+		if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+			return nil, fmt.Errorf("store: pack %s: entry %d payload: %w", path, i, err)
+		}
+	}
+	return p, nil
+}
+
+// countingReader tracks the absolute offset while scanning.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadByte keeps binary.ReadUvarint from wrapping us in a bufio.Reader
+// (which would read ahead and corrupt the offset accounting).
+func (c *countingReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(c.r, b[:])
+	if err != nil {
+		return 0, err
+	}
+	c.n++
+	return b[0], nil
+}
+
+// Has reports whether the pack contains id.
+func (p *Pack) Has(id ID) bool {
+	_, ok := p.index[id]
+	return ok
+}
+
+// Len returns the number of objects in the pack.
+func (p *Pack) Len() int { return len(p.index) }
+
+// Get reads a blob from the pack, verifying its content address.
+func (p *Pack) Get(id ID) ([]byte, error) {
+	e, ok := p.index[id]
+	if !ok {
+		return nil, fmt.Errorf("store: pack: %s not present", shortID(id))
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: pack: %w", err)
+	}
+	defer f.Close()
+	data := make([]byte, e.size)
+	if _, err := f.ReadAt(data, e.offset); err != nil {
+		return nil, fmt.Errorf("store: pack read %s: %w", shortID(id), err)
+	}
+	if HashBytes(data) != id {
+		return nil, fmt.Errorf("store: pack: corrupt object %s", shortID(id))
+	}
+	return data, nil
+}
+
+// IDs returns the packed ids in sorted order.
+func (p *Pack) IDs() []ID {
+	out := make([]ID, 0, len(p.index))
+	for id := range p.index {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Repack migrates every loose object of the store into a single packfile
+// under dir/packs/ and deletes the loose copies. Get and Has consult packs
+// transparently afterwards.
+func (s *ObjectStore) Repack() (string, error) {
+	blobs := map[ID][]byte{}
+	objRoot := filepath.Join(s.dir, "objects")
+	err := filepath.Walk(objRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		id := ID(filepath.Base(filepath.Dir(path)) + filepath.Base(path))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if HashBytes(data) != id {
+			return fmt.Errorf("store: repack: corrupt loose object %s", shortID(id))
+		}
+		blobs[id] = data
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("store: repack: %w", err)
+	}
+	if len(blobs) == 0 {
+		return "", fmt.Errorf("store: repack: no loose objects")
+	}
+	if err := os.MkdirAll(filepath.Join(s.dir, "packs"), 0o755); err != nil {
+		return "", fmt.Errorf("store: repack: %w", err)
+	}
+	// Name the pack by the hash of its sorted id list: deterministic and
+	// collision-free for distinct contents.
+	var idcat []byte
+	for _, id := range sortedIDs(blobs) {
+		idcat = append(idcat, id...)
+	}
+	name := string(HashBytes(idcat)[:16])
+	path := filepath.Join(s.dir, "packs", name+".pack")
+	if err := WritePack(path, blobs); err != nil {
+		return "", err
+	}
+	pack, err := OpenPack(path)
+	if err != nil {
+		return "", err
+	}
+	s.packs = append(s.packs, pack)
+	for id := range blobs {
+		if err := os.Remove(s.path(id)); err != nil {
+			return "", fmt.Errorf("store: repack: removing loose %s: %w", shortID(id), err)
+		}
+	}
+	return path, nil
+}
+
+func sortedIDs(blobs map[ID][]byte) []ID {
+	ids := make([]ID, 0, len(blobs))
+	for id := range blobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}

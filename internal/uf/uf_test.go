@@ -1,0 +1,91 @@
+package uf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	u := New(5)
+	if u.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", u.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if u.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, u.Find(i), i)
+		}
+	}
+	if u.Connected(0, 1) {
+		t.Errorf("fresh elements connected")
+	}
+}
+
+func TestUnionMergesAndCounts(t *testing.T) {
+	u := New(4)
+	if !u.Union(0, 1) {
+		t.Fatalf("Union(0,1) = false on first merge")
+	}
+	if u.Union(1, 0) {
+		t.Fatalf("Union(1,0) = true on repeat merge")
+	}
+	if !u.Connected(0, 1) {
+		t.Errorf("0 and 1 not connected after union")
+	}
+	if u.Count() != 3 {
+		t.Errorf("Count = %d, want 3", u.Count())
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Count() != 1 {
+		t.Errorf("Count = %d, want 1", u.Count())
+	}
+	if !u.Connected(1, 2) {
+		t.Errorf("transitive connectivity broken")
+	}
+}
+
+// TestQuickMatchesNaive compares against a naive component labeling over
+// random union sequences.
+func TestQuickMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		u := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(a, b int) {
+			la, lb := label[a], label[b]
+			if la == lb {
+				return
+			}
+			for i := range label {
+				if label[i] == lb {
+					label[i] = la
+				}
+			}
+		}
+		for op := 0; op < 80; op++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			wantNew := label[a] != label[b]
+			if u.Union(a, b) != wantNew {
+				return false
+			}
+			relabel(a, b)
+			x, y := rng.Intn(n), rng.Intn(n)
+			if u.Connected(x, y) != (label[x] == label[y]) {
+				return false
+			}
+		}
+		comps := map[int]bool{}
+		for _, l := range label {
+			comps[l] = true
+		}
+		return u.Count() == len(comps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

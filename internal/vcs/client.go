@@ -1,0 +1,117 @@
+package vcs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"versiondb/internal/repo"
+)
+
+// Client talks to a Server over HTTP.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:7420").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: http.DefaultClient}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("vcs: marshal: %w", err)
+	}
+	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("vcs: %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	return decodeResponse(path, httpResp, resp)
+}
+
+func (c *Client) get(path string, resp any) error {
+	httpResp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("vcs: %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	return decodeResponse(path, httpResp, resp)
+}
+
+func decodeResponse(path string, httpResp *http.Response, resp any) error {
+	if httpResp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.NewDecoder(httpResp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("vcs: %s: server: %s", path, e.Error)
+		}
+		return fmt.Errorf("vcs: %s: status %d", path, httpResp.StatusCode)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("vcs: %s: decode: %w", path, err)
+	}
+	return nil
+}
+
+// Commit creates a version on branch and returns its id.
+func (c *Client) Commit(branch string, payload []byte, message string) (int, error) {
+	var resp CommitResponse
+	err := c.post("/commit", CommitRequest{Branch: branch, Message: message, Payload: payload, MergeParent: -1}, &resp)
+	return resp.ID, err
+}
+
+// Merge creates a merge commit of branch's tip and other with the
+// client-merged payload.
+func (c *Client) Merge(branch string, other int, payload []byte, message string) (int, error) {
+	var resp CommitResponse
+	err := c.post("/commit", CommitRequest{Branch: branch, Message: message, Payload: payload, MergeParent: other}, &resp)
+	return resp.ID, err
+}
+
+// Checkout fetches version v's payload.
+func (c *Client) Checkout(v int) ([]byte, error) {
+	var resp CheckoutResponse
+	if err := c.get(fmt.Sprintf("/checkout?v=%d", v), &resp); err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// Branch creates a branch at version from.
+func (c *Client) Branch(name string, from int) error {
+	return c.post("/branch", BranchRequest{Name: name, From: from}, nil)
+}
+
+// Log lists all versions.
+func (c *Client) Log() ([]repo.VersionInfo, error) {
+	var resp LogResponse
+	if err := c.get("/log", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Versions, nil
+}
+
+// Optimize triggers a server-side storage re-layout.
+func (c *Client) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
+	var resp OptimizeResponse
+	if err := c.post("/optimize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches repository statistics.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get("/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,73 @@
+// Package vcs exposes the prototype repository over HTTP, mirroring the
+// paper's client-server prototype ("users interact with the version
+// management system in a client-server model over HTTP"). The server owns
+// the repository; the client offers commit/checkout/branch/merge/log/
+// optimize calls. Payloads travel base64-encoded inside JSON bodies.
+package vcs
+
+import "versiondb/internal/repo"
+
+// CommitRequest creates a new version on a branch.
+type CommitRequest struct {
+	Branch  string `json:"branch"`
+	Message string `json:"message"`
+	Payload []byte `json:"payload"` // encoding/json base64-encodes []byte
+	// MergeParent, when ≥ 0, makes this a merge commit of (branch tip,
+	// MergeParent) with the client-merged payload.
+	MergeParent int `json:"merge_parent"`
+}
+
+// CommitResponse returns the new version id.
+type CommitResponse struct {
+	ID int `json:"id"`
+}
+
+// CheckoutResponse carries a reconstructed payload.
+type CheckoutResponse struct {
+	ID      int    `json:"id"`
+	Payload []byte `json:"payload"`
+}
+
+// BranchRequest creates a branch at a version.
+type BranchRequest struct {
+	Name string `json:"name"`
+	From int    `json:"from"`
+}
+
+// LogResponse lists all versions.
+type LogResponse struct {
+	Versions []repo.VersionInfo `json:"versions"`
+}
+
+// OptimizeRequest triggers a global storage re-layout.
+type OptimizeRequest struct {
+	Objective    string  `json:"objective"` // "min-storage" | "sum-recreation" | "max-recreation"
+	BudgetFactor float64 `json:"budget_factor"`
+	Theta        float64 `json:"theta"`
+	RevealHops   int     `json:"reveal_hops"`
+	Compress     bool    `json:"compress"`
+}
+
+// OptimizeResponse reports the solution the optimizer chose.
+type OptimizeResponse struct {
+	Algorithm   string  `json:"algorithm"`
+	Storage     float64 `json:"storage"`
+	SumR        float64 `json:"sum_recreation"`
+	MaxR        float64 `json:"max_recreation"`
+	StoredBytes int64   `json:"stored_bytes"`
+}
+
+// StatsResponse reports repository statistics.
+type StatsResponse struct {
+	Versions     int   `json:"versions"`
+	Branches     int   `json:"branches"`
+	Materialized int   `json:"materialized"`
+	StoredBytes  int64 `json:"stored_bytes"`
+	LogicalBytes int64 `json:"logical_bytes"`
+	MaxChainHops int   `json:"max_chain_hops"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

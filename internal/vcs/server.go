@@ -1,0 +1,161 @@
+package vcs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"versiondb/internal/repo"
+)
+
+// Server serves one repository over HTTP.
+type Server struct {
+	mu   sync.Mutex
+	repo *repo.Repo
+}
+
+// NewServer wraps a repository.
+func NewServer(r *repo.Repo) *Server { return &Server{repo: r} }
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /commit", s.handleCommit)
+	mux.HandleFunc("GET /checkout", s.handleCheckout)
+	mux.HandleFunc("POST /branch", s.handleBranch)
+	mux.HandleFunc("GET /log", s.handleLog)
+	mux.HandleFunc("POST /optimize", s.handleOptimize)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req CommitRequest
+	req.MergeParent = -1
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var id int
+	var err error
+	if req.MergeParent >= 0 {
+		id, err = s.repo.Merge(req.Branch, req.MergeParent, req.Payload, req.Message)
+	} else {
+		id, err = s.repo.Commit(req.Branch, req.Payload, req.Message)
+	}
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CommitResponse{ID: id})
+}
+
+func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.URL.Query().Get("v"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad version: %w", err))
+		return
+	}
+	s.mu.Lock()
+	payload, err := s.repo.Checkout(v)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckoutResponse{ID: v, Payload: payload})
+}
+
+func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) {
+	var req BranchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	s.mu.Lock()
+	err := s.repo.Branch(req.Name, req.From)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	log := s.repo.Log()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, LogResponse{Versions: log})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	opts := repo.OptimizeOptions{
+		BudgetFactor: req.BudgetFactor,
+		Theta:        req.Theta,
+		RevealHops:   req.RevealHops,
+		Compress:     req.Compress,
+	}
+	switch req.Objective {
+	case "min-storage", "":
+		opts.Objective = repo.MinStorageObjective
+	case "sum-recreation":
+		opts.Objective = repo.SumRecreationObjective
+	case "max-recreation":
+		opts.Objective = repo.MaxRecreationObjective
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown objective %q", req.Objective))
+		return
+	}
+	s.mu.Lock()
+	sol, err := s.repo.Optimize(opts)
+	var stored int64
+	if err == nil {
+		stored = s.repo.Stats().StoredBytes
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		Algorithm:   sol.Algorithm,
+		Storage:     sol.Storage,
+		SumR:        sol.SumR,
+		MaxR:        sol.MaxR,
+		StoredBytes: stored,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := s.repo.Stats()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Versions:     st.Versions,
+		Branches:     st.Branches,
+		Materialized: st.Materialized,
+		StoredBytes:  st.StoredBytes,
+		LogicalBytes: st.LogicalBytes,
+		MaxChainHops: st.MaxChainHops,
+	})
+}

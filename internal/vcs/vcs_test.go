@@ -1,0 +1,154 @@
+package vcs
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"versiondb/internal/dataset"
+	"versiondb/internal/repo"
+)
+
+func newClientServer(t *testing.T) *Client {
+	t.Helper()
+	r, err := repo.Init(t.TempDir())
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	srv := httptest.NewServer(NewServer(r).Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL)
+}
+
+func payload(t testing.TB, seed int64, rows int) []byte {
+	t.Helper()
+	tb := dataset.Random(rand.New(rand.NewSource(seed)), rows, 4)
+	b, err := tb.EncodeCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCommitCheckoutOverHTTP(t *testing.T) {
+	c := newClientServer(t)
+	p0 := payload(t, 1, 30)
+	id, err := c.Commit(repo.DefaultBranch, p0, "root")
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if id != 0 {
+		t.Fatalf("id = %d", id)
+	}
+	got, err := c.Checkout(0)
+	if err != nil {
+		t.Fatalf("Checkout: %v", err)
+	}
+	if !bytes.Equal(got, p0) {
+		t.Errorf("payload mismatch over HTTP")
+	}
+}
+
+func TestBranchMergeLogOverHTTP(t *testing.T) {
+	c := newClientServer(t)
+	if _, err := c.Commit(repo.DefaultBranch, payload(t, 2, 30), "root"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := c.Branch("side", 0); err != nil {
+		t.Fatalf("Branch: %v", err)
+	}
+	sid, err := c.Commit("side", payload(t, 3, 31), "side work")
+	if err != nil {
+		t.Fatalf("Commit side: %v", err)
+	}
+	if _, err := c.Commit(repo.DefaultBranch, payload(t, 4, 32), "main work"); err != nil {
+		t.Fatalf("Commit main: %v", err)
+	}
+	mid, err := c.Merge(repo.DefaultBranch, sid, payload(t, 5, 33), "merge")
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	log, err := c.Log()
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	if len(log) != 4 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if len(log[mid].Parents) != 2 {
+		t.Errorf("merge commit parents = %v", log[mid].Parents)
+	}
+}
+
+func TestOptimizeAndStatsOverHTTP(t *testing.T) {
+	c := newClientServer(t)
+	rng := rand.New(rand.NewSource(6))
+	tb := dataset.Random(rng, 50, 5)
+	cur := tb
+	for i := 0; i < 6; i++ {
+		b, err := cur.EncodeCSV()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Commit(repo.DefaultBranch, b, "v"); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+		s := dataset.RandomScript(rng, cur.NumRows(), cur.NumCols(), 2)
+		if cur, err = s.Apply(cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := c.Optimize(OptimizeRequest{Objective: "sum-recreation", BudgetFactor: 1.3, RevealHops: 4})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if resp.Algorithm != "LMG" {
+		t.Errorf("algorithm = %q, want LMG", resp.Algorithm)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Versions != 6 {
+		t.Errorf("stats versions = %d", st.Versions)
+	}
+	if st.StoredBytes <= 0 || st.LogicalBytes <= 0 {
+		t.Errorf("stats bytes = %+v", st)
+	}
+	// Content still intact.
+	if _, err := c.Checkout(5); err != nil {
+		t.Errorf("Checkout after optimize: %v", err)
+	}
+}
+
+func TestServerErrorsSurfaceToClient(t *testing.T) {
+	c := newClientServer(t)
+	if _, err := c.Checkout(0); err == nil {
+		t.Errorf("Checkout on empty repo succeeded")
+	}
+	if err := c.Branch("x", 99); err == nil {
+		t.Errorf("Branch at missing version succeeded")
+	}
+	if _, err := c.Commit("ghost", payload(t, 7, 10), "m"); err == nil {
+		// First commit creates the branch only on a fresh repo; after that
+		// unknown branches fail. Fresh repo: the commit above IS the first,
+		// so it succeeds — exercise the failure on a second unknown branch.
+		if _, err2 := c.Commit("ghost2", payload(t, 8, 10), "m"); err2 == nil {
+			t.Errorf("commit to unknown branch succeeded")
+		}
+	}
+	if _, err := c.Optimize(OptimizeRequest{Objective: "bogus"}); err == nil {
+		t.Errorf("bogus objective accepted")
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens here
+	if _, err := c.Log(); err == nil {
+		t.Errorf("Log against dead server succeeded")
+	}
+	if _, err := c.Checkout(0); err == nil {
+		t.Errorf("Checkout against dead server succeeded")
+	}
+}

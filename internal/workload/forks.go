@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"versiondb/internal/costs"
+)
+
+// ForkParams configure the fork-style workload standing in for the paper's
+// GitHub-derived corpora (986 Bootstrap forks "BF", 100 Linux forks "LF").
+// Each fork is the concatenated working tree of one repository fork: a
+// shared ancestral core plus per-fork divergence. Deltas are revealed for
+// every pair whose size difference is under SizeThreshold — exactly the
+// rule the paper used ("provided the size difference between the versions
+// ... is less than a threshold").
+type ForkParams struct {
+	Forks         int     // number of forks (versions)
+	BaseSize      float64 // size of the shared ancestor content
+	DivergeFrac   float64 // mean fraction of content a fork rewrites
+	DivergeVar    float64 // per-fork jitter on DivergeFrac
+	Clusters      int     // forks cluster around a few popular base revisions
+	SizeThreshold float64 // reveal deltas only when |size_i − size_j| ≤ threshold
+	Directed      bool
+	Seed          int64
+}
+
+// Forks generates the pairwise cost matrix for a fork corpus. Two forks in
+// the same cluster share most content (small deltas); cross-cluster pairs
+// differ by both forks' divergence. Delta(i→j) carries j's divergent
+// content; with directed deltas the two directions differ by the forks'
+// respective divergence sizes, as one-way diffs would.
+func Forks(p ForkParams) (*costs.Matrix, error) {
+	if p.Forks < 2 {
+		return nil, fmt.Errorf("workload: Forks needs ≥ 2 forks, got %d", p.Forks)
+	}
+	if p.Clusters < 1 {
+		p.Clusters = 1
+	}
+	if p.DivergeFrac <= 0 || p.DivergeFrac >= 1 {
+		return nil, fmt.Errorf("workload: DivergeFrac must be in (0,1), got %g", p.DivergeFrac)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	cluster := make([]int, p.Forks)
+	div := make([]float64, p.Forks)  // bytes of fork-private content
+	size := make([]float64, p.Forks) // total fork size
+	// Cluster base revisions drift from the ancestor.
+	clusterDrift := make([]float64, p.Clusters)
+	for c := range clusterDrift {
+		clusterDrift[c] = p.BaseSize * 0.02 * rng.Float64()
+	}
+	for i := 0; i < p.Forks; i++ {
+		cluster[i] = rng.Intn(p.Clusters)
+		f := p.DivergeFrac * (1 + p.DivergeVar*(2*rng.Float64()-1))
+		if f <= 0 {
+			f = p.DivergeFrac / 2
+		}
+		div[i] = p.BaseSize * f
+		size[i] = p.BaseSize + clusterDrift[cluster[i]] + div[i]*0.5 // edits ≈ half adds, half rewrites
+	}
+	m := costs.NewMatrix(p.Forks, p.Directed)
+	for i := 0; i < p.Forks; i++ {
+		m.SetFull(i, size[i], size[i])
+	}
+	revealed := 0
+	for i := 0; i < p.Forks; i++ {
+		for j := i + 1; j < p.Forks; j++ {
+			if p.SizeThreshold > 0 && math.Abs(size[i]-size[j]) > p.SizeThreshold {
+				continue
+			}
+			crossPenalty := 0.0
+			if cluster[i] != cluster[j] {
+				crossPenalty = clusterDrift[cluster[i]] + clusterDrift[cluster[j]]
+			}
+			dij := div[j] + crossPenalty // content private to j (plus base skew)
+			dji := div[i] + crossPenalty
+			// Deltas carry at least the size difference (triangle inequality).
+			if floor := math.Abs(size[i] - size[j]); dij < floor {
+				dij = floor
+			}
+			if floor := math.Abs(size[i] - size[j]); dji < floor {
+				dji = floor
+			}
+			if dij > size[j] {
+				dij = size[j]
+			}
+			if dji > size[i] {
+				dji = size[i]
+			}
+			if p.Directed {
+				m.SetDelta(i, j, dij, dij)
+				m.SetDelta(j, i, dji, dji)
+			} else {
+				sym := dij + dji // a two-way diff carries both sides' content
+				if cap := math.Min(size[i], size[j]); sym > cap {
+					sym = cap
+				}
+				m.SetDelta(i, j, sym, sym)
+			}
+			revealed++
+		}
+	}
+	if revealed == 0 {
+		return nil, fmt.Errorf("workload: Forks size threshold %g revealed no deltas", p.SizeThreshold)
+	}
+	return m, nil
+}

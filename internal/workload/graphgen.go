@@ -1,0 +1,163 @@
+// Package workload generates the paper's evaluation workloads (§5.1): a
+// parameterized synthetic version-graph generator ("our synthetic dataset
+// generator suite ... may be of independent interest"), cost-model and
+// content-backed dataset materializers, fork-style workloads standing in
+// for the GitHub-derived BF/LF corpora, Zipfian access frequencies, and
+// BFS subgraph extraction for the scaling experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GraphParams drive the version-graph generator; they mirror the paper's
+// knobs: number of commits, branch interval and probability, branch limit,
+// and branch length.
+type GraphParams struct {
+	Commits        int     // total number of versions to generate
+	BranchInterval int     // consecutive mainline versions between branch points
+	BranchProb     float64 // probability of branching at a branch point
+	BranchLimit    int     // max branches created at one point (uniform 1..limit)
+	BranchLength   int     // max commits per branch (uniform 1..length)
+	MergeProb      float64 // probability a finished branch merges back into the mainline
+	Seed           int64
+}
+
+// VersionGraph is a derivation DAG over versions 0..N-1. Version 0 is the
+// initial dataset. Parents[v] lists v's derivation parents (two for merge
+// commits); Edges enumerates every derivation edge.
+type VersionGraph struct {
+	N       int
+	Parents [][]int
+	Edges   [][2]int
+}
+
+// Generate builds a version DAG per the parameters. It always produces
+// exactly p.Commits versions (branch lengths are truncated near the end).
+func Generate(p GraphParams) (*VersionGraph, error) {
+	if p.Commits < 1 {
+		return nil, fmt.Errorf("workload: Commits must be ≥ 1, got %d", p.Commits)
+	}
+	if p.BranchInterval < 1 {
+		p.BranchInterval = 1
+	}
+	if p.BranchLimit < 1 {
+		p.BranchLimit = 1
+	}
+	if p.BranchLength < 1 {
+		p.BranchLength = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	vg := &VersionGraph{N: 1, Parents: [][]int{nil}}
+	mainTip := 0
+	sinceBranch := 0
+	var pendingMerges []int // branch tips waiting to merge into the next mainline commit
+
+	addVersion := func(parents ...int) int {
+		id := vg.N
+		vg.N++
+		vg.Parents = append(vg.Parents, append([]int(nil), parents...))
+		for _, par := range parents {
+			vg.Edges = append(vg.Edges, [2]int{par, id})
+		}
+		return id
+	}
+
+	for vg.N < p.Commits {
+		// Mainline commit, absorbing at most one pending merge.
+		parents := []int{mainTip}
+		if len(pendingMerges) > 0 {
+			parents = append(parents, pendingMerges[0])
+			pendingMerges = pendingMerges[1:]
+		}
+		mainTip = addVersion(parents...)
+		sinceBranch++
+		if sinceBranch < p.BranchInterval || vg.N >= p.Commits {
+			continue
+		}
+		sinceBranch = 0
+		if rng.Float64() >= p.BranchProb {
+			continue
+		}
+		nBranches := 1 + rng.Intn(p.BranchLimit)
+		for b := 0; b < nBranches && vg.N < p.Commits; b++ {
+			length := 1 + rng.Intn(p.BranchLength)
+			tip := mainTip
+			for c := 0; c < length && vg.N < p.Commits; c++ {
+				tip = addVersion(tip)
+			}
+			if rng.Float64() < p.MergeProb {
+				pendingMerges = append(pendingMerges, tip)
+			}
+		}
+	}
+	return vg, nil
+}
+
+// UndirectedAdj returns the undirected adjacency over derivation edges,
+// used for hop-distance computations when revealing deltas.
+func (vg *VersionGraph) UndirectedAdj() [][]int {
+	adj := make([][]int, vg.N)
+	for _, e := range vg.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// WithinHops returns, for each version, the versions at undirected
+// hop-distance 1..k along with those distances (the paper's "deltas with
+// all versions in a k-hop distance" revelation rule).
+func (vg *VersionGraph) WithinHops(k int) [][]HopPair {
+	adj := vg.UndirectedAdj()
+	out := make([][]HopPair, vg.N)
+	dist := make([]int, vg.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for s := 0; s < vg.N; s++ {
+		// BFS limited to depth k.
+		queue = queue[:0]
+		queue = append(queue, s)
+		dist[s] = 0
+		var touched []int
+		touched = append(touched, s)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if dist[v] == k {
+				continue
+			}
+			for _, u := range adj[v] {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					touched = append(touched, u)
+					queue = append(queue, u)
+					out[s] = append(out[s], HopPair{To: u, Hops: dist[u]})
+				}
+			}
+		}
+		for _, v := range touched {
+			dist[v] = -1
+		}
+	}
+	return out
+}
+
+// HopPair is a neighbor at a given hop distance.
+type HopPair struct {
+	To   int
+	Hops int
+}
+
+// NumMerges counts versions with more than one parent.
+func (vg *VersionGraph) NumMerges() int {
+	n := 0
+	for _, p := range vg.Parents {
+		if len(p) > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+
+	"versiondb/internal/costs"
+)
+
+// Preset names the four evaluation datasets of §5.1 (Figure 12).
+type Preset string
+
+const (
+	// DC is the Densely Connected dataset: flat history, frequent short
+	// branches, deltas revealed within 10 hops.
+	DC Preset = "DC"
+	// LC is the Linear Chain dataset: mostly-linear history, rare long
+	// branches, deltas revealed within 25 hops.
+	LC Preset = "LC"
+	// BF is the Bootstrap-forks analog: many small sibling versions.
+	BF Preset = "BF"
+	// LF is the Linux-forks analog: few large sibling versions.
+	LF Preset = "LF"
+)
+
+// Presets lists all four datasets in the paper's order.
+var Presets = []Preset{DC, LC, BF, LF}
+
+// Build constructs the preset at a version-count scale (n versions for
+// DC/LC, n forks for BF/LF) in either the directed or undirected regime.
+// The paper's absolute scale (100k versions of ~350MB) is reduced; the
+// graph shapes, hop-reveal radii and fork structure are preserved.
+func Build(p Preset, n int, directed bool, seed int64) (*costs.Matrix, error) {
+	switch p {
+	case DC:
+		vg, err := Generate(GraphParams{
+			Commits:        n,
+			BranchInterval: 2,
+			BranchProb:     0.9,
+			BranchLimit:    4,
+			BranchLength:   3,
+			MergeProb:      0.3,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return vg.SynthCosts(CostParams{
+			BaseSize:    350e3, // paper: ~350MB average; scaled 1000×
+			SizeDrift:   0.02,
+			EditFrac:    0.02, // DC has the smallest deltas (Fig. 12 box plot)
+			EditFracVar: 0.5,
+			RevealHops:  10,
+			Directed:    directed,
+			ReverseAsym: 1.4,
+			Seed:        seed + 1,
+		})
+	case LC:
+		vg, err := Generate(GraphParams{
+			Commits:        n,
+			BranchInterval: 25,
+			BranchProb:     0.3,
+			BranchLimit:    2,
+			BranchLength:   20,
+			MergeProb:      0.1,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return vg.SynthCosts(CostParams{
+			BaseSize:    356e3,
+			SizeDrift:   0.02,
+			EditFrac:    0.06, // LC deltas are larger relative to version size
+			EditFracVar: 0.5,
+			RevealHops:  25,
+			Directed:    directed,
+			ReverseAsym: 1.4,
+			Seed:        seed + 1,
+		})
+	case BF:
+		// Paper: 986 forks averaging 0.401MB, deltas revealed under a
+		// 100KB size-difference threshold (~25% of the version size).
+		return Forks(ForkParams{
+			Forks:         n,
+			BaseSize:      40e3, // 100× scale-down
+			DivergeFrac:   0.10,
+			DivergeVar:    0.8,
+			Clusters:      max(n/40, 3),
+			SizeThreshold: 10e3,
+			Directed:      directed,
+			Seed:          seed,
+		})
+	case LF:
+		// Paper: 100 forks averaging 422MB, threshold 10MB (~2.4%).
+		return Forks(ForkParams{
+			Forks:         n,
+			BaseSize:      420e3, // 1000× scale-down
+			DivergeFrac:   0.04,
+			DivergeVar:    0.9,
+			Clusters:      max(n/12, 3),
+			SizeThreshold: 10e3,
+			Directed:      directed,
+			Seed:          seed,
+		})
+	default:
+		return nil, fmt.Errorf("workload: unknown preset %q", p)
+	}
+}
+
+// DefaultScale returns the version count used for a preset by the
+// benchmark harness; it follows the paper's relative ordering (DC and LC
+// large, BF mid, LF small) at laptop scale.
+func DefaultScale(p Preset) int {
+	switch p {
+	case DC:
+		return 1000
+	case LC:
+		return 1000
+	case BF:
+		return 400
+	case LF:
+		return 100
+	default:
+		return 100
+	}
+}

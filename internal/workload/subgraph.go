@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"versiondb/internal/costs"
+)
+
+// Subgraph extracts an n-version sub-instance of m by breadth-first
+// traversal over revealed delta entries from a random start, renumbering
+// versions — the procedure of the paper's running-time experiment (Fig. 17:
+// "randomly choose a node and traverse the graph ... in breadth-first
+// manner till we construct a subgraph with n versions").
+func Subgraph(m *costs.Matrix, n int, seed int64) (*costs.Matrix, error) {
+	if n < 1 || n > m.N() {
+		return nil, fmt.Errorf("workload: subgraph size %d out of range [1,%d]", n, m.N())
+	}
+	adj := make(map[int][]int, m.N())
+	m.EachDelta(func(i, j int, _ costs.Pair) {
+		adj[i] = append(adj[i], j)
+		adj[j] = append(adj[j], i)
+	})
+	rng := rand.New(rand.NewSource(seed))
+	// Retry from different starts until a component of size ≥ n is found.
+	perm := rng.Perm(m.N())
+	var chosen []int
+	for _, start := range perm {
+		seen := map[int]bool{start: true}
+		queue := []int{start}
+		for qi := 0; qi < len(queue) && len(queue) < n; qi++ {
+			for _, u := range adj[queue[qi]] {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+					if len(queue) == n {
+						break
+					}
+				}
+			}
+		}
+		if len(queue) >= n {
+			chosen = queue[:n]
+			break
+		}
+	}
+	if chosen == nil {
+		return nil, fmt.Errorf("workload: no connected component with %d versions", n)
+	}
+	idx := make(map[int]int, n)
+	for newID, oldID := range chosen {
+		idx[oldID] = newID
+	}
+	sub := costs.NewMatrix(n, m.Directed())
+	for oldID, newID := range idx {
+		p, ok := m.Full(oldID)
+		if !ok {
+			return nil, fmt.Errorf("workload: version %d missing full cost", oldID)
+		}
+		sub.SetFull(newID, p.Storage, p.Recreate)
+	}
+	m.EachDelta(func(i, j int, p costs.Pair) {
+		ni, ok1 := idx[i]
+		nj, ok2 := idx[j]
+		if ok1 && ok2 {
+			sub.SetDelta(ni, nj, p.Storage, p.Recreate)
+		}
+	})
+	return sub, nil
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"versiondb/internal/costs"
+)
+
+// CostParams control the synthetic Δ/Φ cost model laid over a version
+// graph. Sizes are in bytes (float64).
+type CostParams struct {
+	BaseSize     float64 // size of version 0
+	SizeDrift    float64 // per-commit multiplicative size jitter, e.g. 0.03
+	EditFrac     float64 // mean fraction of a version rewritten per commit
+	EditFracVar  float64 // jitter on EditFrac
+	RevealHops   int     // reveal deltas between versions within this hop distance
+	Directed     bool    // asymmetric deltas (one-way diffs)
+	ReverseAsym  float64 // directed only: mean reverse/forward delta size ratio (>1 = reverse bigger)
+	CompressRate float64 // 0 → Φ=Δ (uncompressed); else Δ = rate·raw, Φ = raw (Φ≠Δ)
+	Seed         int64
+}
+
+// SynthCosts materializes the cost matrices for a version graph without
+// generating content: version sizes follow a multiplicative random walk
+// along derivation edges, and the delta size between versions d hops apart
+// is size·(1 − (1−f)^d)·jitter — nearby versions are similar, far ones are
+// not, exactly the structure the paper's revelation discussion assumes.
+func (vg *VersionGraph) SynthCosts(p CostParams) (*costs.Matrix, error) {
+	if p.BaseSize <= 0 {
+		return nil, fmt.Errorf("workload: BaseSize must be positive")
+	}
+	if p.EditFrac <= 0 || p.EditFrac >= 1 {
+		return nil, fmt.Errorf("workload: EditFrac must be in (0,1), got %g", p.EditFrac)
+	}
+	if p.RevealHops < 1 {
+		p.RevealHops = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	size := make([]float64, vg.N)
+	size[0] = p.BaseSize
+	for v := 1; v < vg.N; v++ {
+		// Size follows the largest parent with drift; merges inherit the max.
+		var base float64
+		for _, par := range vg.Parents[v] {
+			if size[par] > base {
+				base = size[par]
+			}
+		}
+		if base == 0 {
+			base = p.BaseSize
+		}
+		drift := 1 + p.SizeDrift*(2*rng.Float64()-1)
+		size[v] = math.Max(base*drift, 16)
+	}
+
+	m := costs.NewMatrix(vg.N, p.Directed)
+	for v := 0; v < vg.N; v++ {
+		stor := size[v]
+		if p.CompressRate > 0 {
+			stor = size[v] * p.CompressRate
+		}
+		m.SetFull(v, stor, size[v])
+	}
+	pairs := vg.WithinHops(p.RevealHops)
+	// Deterministic per-pair jitter independent of iteration order.
+	pairJitter := func(a, b int) float64 {
+		h := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xc2b2ae3d27d4eb4f ^ uint64(p.Seed)
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		return 0.8 + 0.4*float64(h%1000)/1000 // U[0.8, 1.2)
+	}
+	setDelta := func(from, to int, hops int) {
+		f := p.EditFrac * (1 + p.EditFracVar*(pairJitter(from, to)-1)/0.2)
+		if f >= 1 {
+			f = 0.99
+		}
+		raw := size[to] * (1 - math.Pow(1-f, float64(hops))) * pairJitter(from, to)
+		// A real delta carries at least the size difference between the two
+		// versions (the §3 diagonal triangle inequality |Δii−Δij| ≤ Δjj);
+		// without this floor a chain through a smaller version could beat
+		// direct materialization, which no physical delta can do.
+		if floor := math.Abs(size[to] - size[from]); raw < floor {
+			raw = floor
+		}
+		if raw < 1 {
+			raw = 1
+		}
+		if raw > size[to] {
+			raw = size[to]
+		}
+		stor := raw
+		if p.CompressRate > 0 {
+			stor = raw * p.CompressRate
+		}
+		m.SetDelta(from, to, stor, raw)
+	}
+	for from := 0; from < vg.N; from++ {
+		for _, hp := range pairs[from] {
+			if from >= hp.To {
+				continue // each unordered pair handled once, in both directions below
+			}
+			if p.Directed {
+				setDelta(from, hp.To, hp.Hops)
+				// Reverse delta: larger by the asymmetry factor (deletions
+				// dominate one direction), capped at the full size.
+				asym := p.ReverseAsym
+				if asym <= 0 {
+					asym = 1
+				}
+				f := p.EditFrac
+				raw := size[from] * (1 - math.Pow(1-f, float64(hp.Hops))) * asym * pairJitter(hp.To, from)
+				if floor := math.Abs(size[from] - size[hp.To]); raw < floor {
+					raw = floor
+				}
+				if raw < 1 {
+					raw = 1
+				}
+				if raw > size[from] {
+					raw = size[from]
+				}
+				stor := raw
+				if p.CompressRate > 0 {
+					stor = raw * p.CompressRate
+				}
+				m.SetDelta(hp.To, from, stor, raw)
+			} else {
+				setDelta(from, hp.To, hp.Hops)
+			}
+		}
+	}
+	return m, nil
+}

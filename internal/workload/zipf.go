@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf returns n access frequencies following a Zipfian distribution with
+// the given exponent (the paper's Fig. 16 uses exponent 2), assigned to
+// versions in a random permutation and normalized to sum to n (so uniform
+// weights and Zipf weights are on the same scale).
+func Zipf(n int, exponent float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		f[i] = 1 / math.Pow(float64(i+1), exponent)
+		sum += f[i]
+	}
+	rng.Shuffle(n, func(i, j int) { f[i], f[j] = f[j], f[i] })
+	scale := float64(n) / sum
+	for i := range f {
+		f[i] *= scale
+	}
+	return f
+}

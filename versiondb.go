@@ -1,0 +1,184 @@
+// Package versiondb is a dataset versioning library that balances storage
+// cost against recreation cost, implementing "Principles of Dataset
+// Versioning: Exploring the Recreation/Storage Tradeoff" (Bhattacherjee et
+// al., VLDB 2015).
+//
+// The library answers one question: given many versions of a dataset and
+// the costs of storing each version whole (Δii, Φii) or as a delta from
+// another version (Δij, Φij), which versions should be materialized and
+// which stored as deltas? Solutions are spanning trees of an augmented
+// graph rooted at a dummy vertex (paper §2.2); six optimization problems
+// trade the two costs in different ways (paper Table 1):
+//
+//	Problem 1  min storage                      → MinStorage (MST/MCA)
+//	Problem 2  min every recreation cost        → MinRecreation (SPT)
+//	Problem 3  min Σ recreation s.t. storage ≤ β → LMG
+//	Problem 4  min max recreation s.t. storage ≤ β → Problem4 (MP + search)
+//	Problem 5  min storage s.t. Σ recreation ≤ θ → Problem5 (LMG + search)
+//	Problem 6  min storage s.t. max recreation ≤ θ → MP
+//
+// A typical session builds a cost Matrix, wraps it in an Instance, and runs
+// a solver:
+//
+//	m := versiondb.NewMatrix(3, true)
+//	m.SetFull(0, 1000, 1000)
+//	m.SetFull(1, 1010, 1010)
+//	m.SetFull(2, 1020, 1020)
+//	m.SetDelta(0, 1, 25, 25)
+//	m.SetDelta(1, 2, 30, 30)
+//	inst, _ := versiondb.NewInstance(m)
+//	sol, _ := versiondb.LMG(inst, versiondb.LMGOptions{Budget: 1100})
+//
+// Beyond the solvers, the module ships every substrate of the paper's
+// prototype: differencing algorithms (internal/delta), a content-addressed
+// store with delta-chain layouts (internal/store), a Git-like dataset
+// repository with an HTTP server and client (internal/repo, internal/vcs),
+// workload generators (internal/workload), and a benchmark harness that
+// regenerates each table and figure of the evaluation (internal/bench,
+// cmd/vbench).
+package versiondb
+
+import (
+	"versiondb/internal/costs"
+	"versiondb/internal/repo"
+	"versiondb/internal/solve"
+	"versiondb/internal/workload"
+)
+
+// Matrix holds the sparse Δ (storage) and Φ (recreation) cost matrices.
+type Matrix = costs.Matrix
+
+// Pair is a ⟨storage, recreation⟩ cost annotation.
+type Pair = costs.Pair
+
+// Scenario identifies the undirected/directed × Φ=Δ/Φ≠Δ regimes.
+type Scenario = costs.Scenario
+
+// Scenario constants (paper Table 1 columns).
+const (
+	UndirectedProportional = costs.UndirectedProportional
+	DirectedProportional   = costs.DirectedProportional
+	DirectedGeneral        = costs.DirectedGeneral
+)
+
+// NewMatrix returns an empty cost matrix over n versions.
+func NewMatrix(n int, directed bool) *Matrix { return costs.NewMatrix(n, directed) }
+
+// Instance is a cost matrix together with its augmented graph.
+type Instance = solve.Instance
+
+// Solution is a storage graph with its aggregate costs.
+type Solution = solve.Solution
+
+// NewInstance builds the augmented graph for a matrix.
+func NewInstance(m *Matrix) (*Instance, error) { return solve.NewInstance(m) }
+
+// MinStorage solves Problem 1 (minimum spanning tree / arborescence).
+func MinStorage(inst *Instance) (*Solution, error) { return solve.MinStorage(inst) }
+
+// MinRecreation solves Problem 2 (shortest path tree).
+func MinRecreation(inst *Instance) (*Solution, error) { return solve.MinRecreation(inst) }
+
+// LMGOptions configure the Local Move Greedy heuristic.
+type LMGOptions = solve.LMGOptions
+
+// LMG solves Problem 3: minimize Σ recreation under a storage budget.
+func LMG(inst *Instance, opts LMGOptions) (*Solution, error) { return solve.LMG(inst, opts) }
+
+// MP solves Problem 6: minimize storage under a max-recreation bound.
+func MP(inst *Instance, theta float64) (*Solution, error) { return solve.MP(inst, theta) }
+
+// LAST balances the MST and SPT with per-vertex stretch bound α.
+func LAST(inst *Instance, alpha float64) (*Solution, error) { return solve.LAST(inst, alpha) }
+
+// GitHOptions configure the Git repack heuristic.
+type GitHOptions = solve.GitHOptions
+
+// GitH runs the Git repack heuristic (window/depth).
+func GitH(inst *Instance, opts GitHOptions) (*Solution, error) { return solve.GitH(inst, opts) }
+
+// Problem4 minimizes max recreation under a storage budget.
+func Problem4(inst *Instance, beta float64) (*Solution, error) {
+	return solve.Problem4(inst, beta, 0)
+}
+
+// Problem5 minimizes storage under a Σ-recreation bound.
+func Problem5(inst *Instance, theta float64) (*Solution, error) {
+	return solve.Problem5(inst, theta, 0)
+}
+
+// ExactOptions bound the exact branch-and-bound solver.
+type ExactOptions = solve.ExactOptions
+
+// ExactResult is the exact solver's outcome.
+type ExactResult = solve.ExactResult
+
+// Exact solves Problem 6 exactly by branch and bound (small instances).
+func Exact(inst *Instance, theta float64, opts ExactOptions) (*ExactResult, error) {
+	return solve.ExactMinStorageMaxR(inst, theta, opts)
+}
+
+// Budgets interpolates k storage budgets between the MST and SPT costs.
+func Budgets(inst *Instance, k int) ([]float64, error) { return solve.Budgets(inst, k) }
+
+// Thetas interpolates k max-recreation bounds between the SPT and MST.
+func Thetas(inst *Instance, k int) ([]float64, error) { return solve.Thetas(inst, k) }
+
+// Online incrementally maintains a storage graph as versions arrive — the
+// online variant the paper lists as future work (§7).
+type Online = solve.Online
+
+// OnlineOptions configure an Online store.
+type OnlineOptions = solve.OnlineOptions
+
+// Online placement policies.
+const (
+	OnlineMinDelta = solve.OnlineMinDelta
+	OnlineBounded  = solve.OnlineBounded
+)
+
+// NewOnline returns an empty online store.
+func NewOnline(opts OnlineOptions) *Online { return solve.NewOnline(opts) }
+
+// Repo is the prototype dataset version management system.
+type Repo = repo.Repo
+
+// VersionInfo is one committed version's record.
+type VersionInfo = repo.VersionInfo
+
+// OptimizeOptions configure Repo.Optimize.
+type OptimizeOptions = repo.OptimizeOptions
+
+// Optimization objectives for Repo.Optimize.
+const (
+	MinStorageObjective    = repo.MinStorageObjective
+	SumRecreationObjective = repo.SumRecreationObjective
+	MaxRecreationObjective = repo.MaxRecreationObjective
+)
+
+// InitRepo creates a repository at dir.
+func InitRepo(dir string) (*Repo, error) { return repo.Init(dir) }
+
+// OpenRepo opens an existing repository.
+func OpenRepo(dir string) (*Repo, error) { return repo.Open(dir) }
+
+// Preset names the paper's evaluation datasets (DC, LC, BF, LF).
+type Preset = workload.Preset
+
+// The four evaluation datasets of §5.1.
+const (
+	DC = workload.DC
+	LC = workload.LC
+	BF = workload.BF
+	LF = workload.LF
+)
+
+// BuildWorkload constructs a preset evaluation dataset at a given scale.
+func BuildWorkload(p Preset, n int, directed bool, seed int64) (*Matrix, error) {
+	return workload.Build(p, n, directed, seed)
+}
+
+// Zipf returns Zipfian access frequencies for workload-aware optimization.
+func Zipf(n int, exponent float64, seed int64) []float64 {
+	return workload.Zipf(n, exponent, seed)
+}

@@ -1,0 +1,116 @@
+package versiondb_test
+
+import (
+	"bytes"
+	"testing"
+
+	"versiondb"
+)
+
+// TestPublicAPIEndToEnd drives the whole public facade: build a matrix, run
+// every solver, run the repository.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m := versiondb.NewMatrix(4, true)
+	m.SetFull(0, 1000, 1000)
+	m.SetFull(1, 1010, 1010)
+	m.SetFull(2, 1020, 1020)
+	m.SetFull(3, 1030, 1030)
+	m.SetDelta(0, 1, 25, 25)
+	m.SetDelta(1, 2, 30, 30)
+	m.SetDelta(2, 3, 35, 35)
+	m.SetDelta(0, 3, 90, 90)
+
+	inst, err := versiondb.NewInstance(m)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	mst, err := versiondb.MinStorage(inst)
+	if err != nil {
+		t.Fatalf("MinStorage: %v", err)
+	}
+	if mst.Storage != 1000+25+30+35 {
+		t.Errorf("MST storage = %g, want 1090", mst.Storage)
+	}
+	spt, err := versiondb.MinRecreation(inst)
+	if err != nil {
+		t.Fatalf("MinRecreation: %v", err)
+	}
+	if spt.SumR != 1000+1010+1020+1030 {
+		t.Errorf("SPT ΣR = %g", spt.SumR)
+	}
+	if _, err := versiondb.LMG(inst, versiondb.LMGOptions{Budget: 2 * mst.Storage}); err != nil {
+		t.Errorf("LMG: %v", err)
+	}
+	if _, err := versiondb.MP(inst, spt.MaxR*1.2); err != nil {
+		t.Errorf("MP: %v", err)
+	}
+	if _, err := versiondb.LAST(inst, 2); err != nil {
+		t.Errorf("LAST: %v", err)
+	}
+	if _, err := versiondb.GitH(inst, versiondb.GitHOptions{Window: 4, MaxDepth: 10}); err != nil {
+		t.Errorf("GitH: %v", err)
+	}
+	if _, err := versiondb.Problem4(inst, mst.Storage*2); err != nil {
+		t.Errorf("Problem4: %v", err)
+	}
+	if _, err := versiondb.Problem5(inst, spt.SumR*1.5); err != nil {
+		t.Errorf("Problem5: %v", err)
+	}
+	ex, err := versiondb.Exact(inst, spt.MaxR*1.2, versiondb.ExactOptions{})
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if !ex.Optimal {
+		t.Errorf("tiny exact instance not solved to optimality")
+	}
+	if bs, err := versiondb.Budgets(inst, 3); err != nil || len(bs) != 3 {
+		t.Errorf("Budgets: %v %v", bs, err)
+	}
+	if ts, err := versiondb.Thetas(inst, 3); err != nil || len(ts) != 3 {
+		t.Errorf("Thetas: %v %v", ts, err)
+	}
+}
+
+func TestPublicAPIWorkloadsAndRepo(t *testing.T) {
+	for _, p := range []versiondb.Preset{versiondb.DC, versiondb.LC, versiondb.BF, versiondb.LF} {
+		m, err := versiondb.BuildWorkload(p, 40, true, 1)
+		if err != nil {
+			t.Fatalf("BuildWorkload(%s): %v", p, err)
+		}
+		if m.N() != 40 {
+			t.Errorf("%s: N = %d", p, m.N())
+		}
+	}
+	if f := versiondb.Zipf(10, 2, 1); len(f) != 10 {
+		t.Errorf("Zipf length %d", len(f))
+	}
+
+	dir := t.TempDir()
+	r, err := versiondb.InitRepo(dir)
+	if err != nil {
+		t.Fatalf("InitRepo: %v", err)
+	}
+	payload := []byte("a,b\n1,2\n3,4\n")
+	if _, err := r.Commit("master", payload, "root"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	v2 := []byte("a,b\n1,2\n3,5\n9,9\n")
+	if _, err := r.Commit("master", v2, "edit"); err != nil {
+		t.Fatalf("Commit 2: %v", err)
+	}
+	if _, err := r.Optimize(versiondb.OptimizeOptions{
+		Objective:    versiondb.SumRecreationObjective,
+		BudgetFactor: 1.5,
+		RevealHops:   3,
+	}); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	r2, err := versiondb.OpenRepo(dir)
+	if err != nil {
+		t.Fatalf("OpenRepo: %v", err)
+	}
+	got, err := r2.Checkout(1)
+	if err != nil || !bytes.Equal(got, v2) {
+		t.Errorf("Checkout after reopen: %q %v", got, err)
+	}
+}

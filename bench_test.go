@@ -11,12 +11,17 @@
 package versiondb_test
 
 import (
+	"bytes"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"versiondb/internal/bench"
 	"versiondb/internal/delta"
 	"versiondb/internal/graph"
+	"versiondb/internal/repo"
 	"versiondb/internal/solve"
+	"versiondb/internal/store"
 	"versiondb/internal/workload"
 )
 
@@ -123,6 +128,72 @@ func BenchmarkSec52Comparison(b *testing.B) {
 			}
 			b.ReportMetric(svn/mca, "SVN/MCA")
 		}
+	}
+}
+
+// --- Serving path: checkout cache ------------------------------------------
+
+// chainRepo commits n versions in a line onto an in-memory backend, so the
+// deepest version sits behind an (n-1)-delta chain.
+func chainRepo(b *testing.B, n int) *repo.Repo {
+	b.Helper()
+	r, err := repo.InitBackend(store.NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	lines := make([]string, 60)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("row-%d,%d,%d", i, rng.Intn(1000), rng.Intn(1000))
+	}
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			for k := 0; k < 3; k++ {
+				lines[rng.Intn(len(lines))] = fmt.Sprintf("edit-%d-%d,%d", v, k, rng.Intn(1000))
+			}
+		}
+		var buf bytes.Buffer
+		for _, l := range lines {
+			buf.WriteString(l)
+			buf.WriteByte('\n')
+		}
+		if _, err := r.Commit(repo.DefaultBranch, buf.Bytes(), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkCheckoutHotVsCold shows the LRU cache removing delta-chain
+// replay on repeat checkouts: cold pays the full chain in delta
+// applications every iteration, hot pays it once and then serves from the
+// cache (deltas/op → 0).
+func BenchmarkCheckoutHotVsCold(b *testing.B) {
+	const versions = 24
+	for _, tc := range []struct {
+		name  string
+		cache int
+	}{
+		{"cold", 0},
+		{"hot", 8},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			r := chainRepo(b, versions)
+			r.EnableCache(tc.cache)
+			start := r.DeltaApplications()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Checkout(versions - 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			applied := r.DeltaApplications() - start
+			b.ReportMetric(float64(applied)/float64(b.N), "deltas/op")
+			if tc.cache > 0 && applied > versions-1 {
+				b.Fatalf("hot path applied %d deltas across %d checkouts; cache not effective", applied, b.N)
+			}
+		})
 	}
 }
 

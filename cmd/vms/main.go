@@ -14,7 +14,10 @@
 //	vms -dir D optimize -objective min-storage|sum-recreation|max-recreation \
 //	                    [-budget-factor X] [-theta T] [-hops K] [-compress]
 //
-// Replace -dir D with -server URL to run against a vmsd instance.
+// Replace -dir D with -server URL to run against a vmsd instance. The
+// global -cache N flag bounds the local checkout LRU (0 disables); -backend
+// mem swaps the filesystem store for a fresh in-memory one, which only
+// lives for a single invocation and is meant for smoke tests.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"text/tabwriter"
 
 	"versiondb/internal/repo"
+	"versiondb/internal/store"
 	"versiondb/internal/vcs"
 )
 
@@ -38,6 +42,8 @@ func run(args []string) error {
 	global := flag.NewFlagSet("vms", flag.ContinueOnError)
 	dir := global.String("dir", "", "local repository directory")
 	server := global.String("server", "", "vmsd server URL (e.g. http://localhost:7420)")
+	backend := global.String("backend", "fs", "local storage backend: fs or mem (mem is per-invocation, for smoke tests)")
+	cache := global.Int("cache", 0, "checkout LRU capacity in versions (0 disables)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -49,24 +55,38 @@ func run(args []string) error {
 	if *server != "" {
 		return runRemote(vcs.NewClient(*server), cmd, rest)
 	}
-	if *dir == "" {
+	if *backend != "fs" && *backend != "mem" {
+		return fmt.Errorf("unknown backend %q (want fs or mem)", *backend)
+	}
+	if *dir == "" && *backend == "fs" {
 		return fmt.Errorf("one of -dir or -server is required")
 	}
-	return runLocal(*dir, cmd, rest)
+	return runLocal(*dir, *backend, *cache, cmd, rest)
 }
 
-func runLocal(dir, cmd string, args []string) error {
+func runLocal(dir, backend string, cache int, cmd string, args []string) error {
+	openRepo := func() (*repo.Repo, error) {
+		if backend == "mem" {
+			return repo.InitBackend(store.NewMemStore())
+		}
+		return repo.Open(dir)
+	}
 	if cmd == "init" {
+		if backend == "mem" {
+			fmt.Println("initialized in-memory repository (contents die with this process)")
+			return nil
+		}
 		if _, err := repo.Init(dir); err != nil {
 			return err
 		}
 		fmt.Println("initialized empty repository at", dir)
 		return nil
 	}
-	r, err := repo.Open(dir)
+	r, err := openRepo()
 	if err != nil {
 		return err
 	}
+	r.EnableCache(cache)
 	switch cmd {
 	case "commit", "merge":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)

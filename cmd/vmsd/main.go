@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	vmsd -dir /path/to/repo [-addr :7420] [-init]
+//	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem] [-cache N]
+//
+// The -backend flag selects the physical store: "fs" (default) persists
+// loose objects and packfiles under -dir; "mem" serves a fresh
+// concurrency-safe in-memory repository (no -dir needed, contents die with
+// the process — useful for caching tiers and load tests). -cache bounds
+// the LRU of materialized versions that lets hot checkouts skip
+// delta-chain replay.
 package main
 
 import (
@@ -13,30 +20,42 @@ import (
 	"net/http"
 
 	"versiondb/internal/repo"
+	"versiondb/internal/store"
 	"versiondb/internal/vcs"
 )
 
 func main() {
-	dir := flag.String("dir", "", "repository directory (required)")
+	dir := flag.String("dir", "", "repository directory (fs backend)")
 	addr := flag.String("addr", ":7420", "listen address")
 	doInit := flag.Bool("init", false, "initialize a fresh repository at -dir")
+	backend := flag.String("backend", "fs", "storage backend: fs or mem")
+	cache := flag.Int("cache", 64, "checkout LRU capacity in versions (0 disables)")
 	flag.Parse()
-	if *dir == "" {
-		log.Fatal("vmsd: -dir is required")
-	}
 	var (
 		r   *repo.Repo
 		err error
 	)
-	if *doInit {
-		r, err = repo.Init(*dir)
-	} else {
-		r, err = repo.Open(*dir)
+	switch *backend {
+	case "fs":
+		if *dir == "" {
+			log.Fatal("vmsd: -dir is required with -backend fs")
+		}
+		if *doInit {
+			r, err = repo.Init(*dir)
+		} else {
+			r, err = repo.Open(*dir)
+		}
+	case "mem":
+		r, err = repo.InitBackend(store.NewMemStore())
+	default:
+		log.Fatalf("vmsd: unknown backend %q (want fs or mem)", *backend)
 	}
 	if err != nil {
 		log.Fatalf("vmsd: %v", err)
 	}
+	r.EnableCache(*cache)
 	srv := vcs.NewServer(r)
-	fmt.Printf("vmsd: serving %s on %s (%d versions)\n", *dir, *addr, r.NumVersions())
+	fmt.Printf("vmsd: serving %s backend on %s (%d versions, cache %d)\n",
+		*backend, *addr, r.NumVersions(), *cache)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -1,0 +1,3 @@
+module versiondb
+
+go 1.24

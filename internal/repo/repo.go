@@ -4,14 +4,21 @@
 // version graph, and an Optimize step that rebuilds the physical storage
 // layout using the paper's algorithms — the piece that distinguishes this
 // prototype from a conventional VCS.
+//
+// A Repo is a concurrency-safe service: readers (Checkout, Log, Stats,
+// Tip, Branches) proceed in parallel under a read lock while writers
+// (Commit, Merge, Branch, Optimize, Repack) serialize behind the write
+// lock. The physical layer is a pluggable store.Backend; metadata is
+// persisted atomically through the backend's MetaStore.
 package repo
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"io/fs"
 	"sort"
+	"sync"
 	"time"
 
 	"versiondb/internal/costs"
@@ -19,6 +26,21 @@ import (
 	"versiondb/internal/graph"
 	"versiondb/internal/solve"
 	"versiondb/internal/store"
+)
+
+// Sentinel errors let callers (notably the HTTP server) distinguish
+// missing resources from conflicts and internal faults.
+var (
+	// ErrUnknownVersion marks a reference to a version that does not exist.
+	ErrUnknownVersion = errors.New("unknown version")
+	// ErrUnknownBranch marks a reference to a branch that does not exist.
+	ErrUnknownBranch = errors.New("unknown branch")
+	// ErrBranchExists marks an attempt to create a branch that exists.
+	ErrBranchExists = errors.New("branch already exists")
+	// ErrEmptyRepo marks an operation that needs at least one version.
+	ErrEmptyRepo = errors.New("empty repository")
+	// ErrInvalidMerge marks a merge whose parents cannot form a commit.
+	ErrInvalidMerge = errors.New("invalid merge")
 )
 
 // VersionInfo records one committed dataset version.
@@ -36,31 +58,57 @@ type meta struct {
 	Branches map[string]int `json:"branches"` // branch → tip version id
 }
 
-// Repo is an on-disk dataset repository.
+// metaName is the metadata document holding the version graph.
+const metaName = "meta.json"
+
+// Repo is a dataset repository over a pluggable storage backend.
 type Repo struct {
-	dir    string
-	store  *store.ObjectStore
-	layout *store.Layout
-	meta   meta
+	mu        sync.RWMutex
+	backend   store.Backend
+	metaStore store.MetaStore
+	layout    *store.Layout
+	meta      meta
+	cacheSize int // checkout LRU capacity, re-applied after Optimize
 }
 
 // DefaultBranch is the branch created by Init.
 const DefaultBranch = "master"
 
-// Init creates a new repository at dir.
+// Init creates a new filesystem-backed repository at dir.
 func Init(dir string) (*Repo, error) {
-	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err == nil {
-		return nil, fmt.Errorf("repo: %s already initialized", dir)
-	}
 	s, err := store.Open(dir)
 	if err != nil {
 		return nil, err
 	}
+	r, err := InitBackend(s)
+	if err != nil && errors.Is(err, errAlreadyInitialized) {
+		return nil, fmt.Errorf("repo: %s already initialized", dir)
+	}
+	return r, err
+}
+
+var errAlreadyInitialized = errors.New("already initialized")
+
+// InitBackend creates a new repository over an arbitrary backend. The
+// backend must also implement store.MetaStore and must not already hold a
+// repository.
+func InitBackend(b store.Backend) (*Repo, error) {
+	ms, ok := b.(store.MetaStore)
+	if !ok {
+		return nil, fmt.Errorf("repo: backend %T does not persist metadata", b)
+	}
+	if _, err := ms.GetMeta(metaName); err == nil {
+		return nil, fmt.Errorf("repo: backend: %w", errAlreadyInitialized)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// An unreadable meta.json is not license to overwrite a repository
+		// that may exist behind it.
+		return nil, fmt.Errorf("repo: init: %w", err)
+	}
 	r := &Repo{
-		dir:    dir,
-		store:  s,
-		layout: emptyLayout(s),
-		meta:   meta{Branches: map[string]int{}},
+		backend:   b,
+		metaStore: ms,
+		layout:    emptyLayout(b),
+		meta:      meta{Branches: map[string]int{}},
 	}
 	if err := r.save(); err != nil {
 		return nil, err
@@ -68,51 +116,94 @@ func Init(dir string) (*Repo, error) {
 	return r, nil
 }
 
-// Open loads an existing repository.
+// Open loads an existing filesystem-backed repository.
 func Open(dir string) (*Repo, error) {
 	s, err := store.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	return OpenBackend(s)
+}
+
+// OpenBackend loads an existing repository from an arbitrary backend.
+func OpenBackend(b store.Backend) (*Repo, error) {
+	ms, ok := b.(store.MetaStore)
+	if !ok {
+		return nil, fmt.Errorf("repo: backend %T does not persist metadata", b)
+	}
+	data, err := ms.GetMeta(metaName)
 	if err != nil {
 		return nil, fmt.Errorf("repo: open: %w", err)
 	}
-	r := &Repo{dir: dir, store: s}
+	r := &Repo{backend: b, metaStore: ms}
 	if err := json.Unmarshal(data, &r.meta); err != nil {
 		return nil, fmt.Errorf("repo: open: %w", err)
 	}
 	if len(r.meta.Versions) > 0 {
-		if r.layout, err = store.LoadLayout(s); err != nil {
+		if r.layout, err = store.LoadLayout(b); err != nil {
 			return nil, err
 		}
 	} else {
-		r.layout = emptyLayout(s)
+		r.layout = emptyLayout(b)
 	}
 	return r, nil
 }
 
-func emptyLayout(s *store.ObjectStore) *store.Layout {
-	l, _ := store.BuildLayout(s, nil, graph.NewTree(1, 0), false)
+func emptyLayout(b store.Backend) *store.Layout {
+	l, _ := store.BuildLayout(b, nil, graph.NewTree(1, 0), false)
 	return l
 }
 
+// EnableCache installs a bounded LRU of materialized versions on the
+// checkout path (n ≤ 0 disables it). The setting survives Optimize, which
+// rebuilds the layout — the fresh layout starts with an empty cache of the
+// same capacity, since old payload associations are stale.
+func (r *Repo) EnableCache(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cacheSize = n
+	r.layout.SetCache(store.NewVersionCache(n))
+}
+
+// CacheStats returns cumulative checkout-cache hits and misses.
+func (r *Repo) CacheStats() (hits, misses uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.layout.Cache().Stats()
+}
+
+// DeltaApplications returns the cumulative number of deltas applied by
+// checkouts against the current layout.
+func (r *Repo) DeltaApplications() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.layout.DeltaApplications()
+}
+
+// save persists meta and layout; callers hold the write lock (or have
+// exclusive access during construction).
 func (r *Repo) save() error {
 	data, err := json.MarshalIndent(&r.meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("repo: save: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(r.dir, "meta.json"), data, 0o644); err != nil {
+	if err := r.metaStore.PutMeta(metaName, data); err != nil {
 		return fmt.Errorf("repo: save: %w", err)
 	}
 	return r.layout.Save()
 }
 
 // NumVersions returns the number of committed versions.
-func (r *Repo) NumVersions() int { return len(r.meta.Versions) }
+func (r *Repo) NumVersions() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.meta.Versions)
+}
 
 // Branches returns branch names sorted lexicographically.
 func (r *Repo) Branches() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.meta.Branches))
 	for b := range r.meta.Branches {
 		out = append(out, b)
@@ -123,15 +214,19 @@ func (r *Repo) Branches() []string {
 
 // Tip returns the tip version of a branch.
 func (r *Repo) Tip(branch string) (int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	tip, ok := r.meta.Branches[branch]
 	if !ok {
-		return 0, fmt.Errorf("repo: unknown branch %q", branch)
+		return 0, fmt.Errorf("repo: %w %q", ErrUnknownBranch, branch)
 	}
 	return tip, nil
 }
 
 // Log returns all version records in commit order.
 func (r *Repo) Log() []VersionInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return append([]VersionInfo(nil), r.meta.Versions...)
 }
 
@@ -140,11 +235,13 @@ func (r *Repo) Log() []VersionInfo {
 // against their parent when that is smaller than the payload; Optimize can
 // later re-lay-out everything globally.
 func (r *Repo) Commit(branch string, payload []byte, message string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var parents []int
 	if tip, ok := r.meta.Branches[branch]; ok {
 		parents = []int{tip}
 	} else if len(r.meta.Versions) > 0 {
-		return 0, fmt.Errorf("repo: unknown branch %q (use Branch to create it)", branch)
+		return 0, fmt.Errorf("repo: %w %q (use Branch to create it)", ErrUnknownBranch, branch)
 	}
 	return r.addVersion(branch, payload, message, parents)
 }
@@ -154,33 +251,49 @@ func (r *Repo) Commit(branch string, payload []byte, message string) (int, error
 // result: "unlike traditional VCS ... we let the user perform the merge and
 // notify the system by creating a version with more than one parent."
 func (r *Repo) Merge(branch string, other int, payload []byte, message string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	tip, ok := r.meta.Branches[branch]
 	if !ok {
-		return 0, fmt.Errorf("repo: unknown branch %q", branch)
+		return 0, fmt.Errorf("repo: %w %q", ErrUnknownBranch, branch)
 	}
 	if other < 0 || other >= len(r.meta.Versions) {
-		return 0, fmt.Errorf("repo: merge source %d out of range", other)
+		return 0, fmt.Errorf("repo: merge source %d out of range: %w", other, ErrUnknownVersion)
 	}
 	if other == tip {
-		return 0, fmt.Errorf("repo: merging %d into its own branch tip", other)
+		return 0, fmt.Errorf("repo: merging %d into its own branch tip: %w", other, ErrInvalidMerge)
 	}
 	return r.addVersion(branch, payload, message, []int{tip, other})
 }
 
 // Branch creates a new branch pointing at version from.
 func (r *Repo) Branch(name string, from int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, exists := r.meta.Branches[name]; exists {
-		return fmt.Errorf("repo: branch %q already exists", name)
+		return fmt.Errorf("repo: %w: %q", ErrBranchExists, name)
 	}
 	if from < 0 || from >= len(r.meta.Versions) {
-		return fmt.Errorf("repo: branch source %d out of range", from)
+		return fmt.Errorf("repo: branch source %d out of range: %w", from, ErrUnknownVersion)
 	}
 	r.meta.Branches[name] = from
 	return r.save()
 }
 
+// addVersion appends a version; callers hold the write lock. On failure
+// the in-memory version list and branch tip are rolled back so the served
+// state stays consistent with what was last persisted.
 func (r *Repo) addVersion(branch string, payload []byte, message string, parents []int) (int, error) {
 	id := len(r.meta.Versions)
+	oldTip, hadBranch := r.meta.Branches[branch]
+	rollback := func() {
+		r.meta.Versions = r.meta.Versions[:id]
+		if hadBranch {
+			r.meta.Branches[branch] = oldTip
+		} else {
+			delete(r.meta.Branches, branch)
+		}
+	}
 	r.meta.Versions = append(r.meta.Versions, VersionInfo{
 		ID:      id,
 		Parents: parents,
@@ -195,8 +308,9 @@ func (r *Repo) addVersion(branch string, payload []byte, message string, parents
 	entry := store.Entry{Parent: -1, Materialized: true}
 	blob := payload
 	if len(parents) > 0 {
-		base, err := r.Checkout(parents[0])
+		base, err := r.checkoutLocked(parents[0])
 		if err != nil {
+			rollback()
 			return 0, err
 		}
 		d := delta.Encode(delta.DiffLines(base, payload), true)
@@ -205,29 +319,46 @@ func (r *Repo) addVersion(branch string, payload []byte, message string, parents
 			blob = d
 		}
 	}
-	bid, err := r.store.Put(blob)
+	bid, err := r.backend.Put(blob)
 	if err != nil {
+		rollback()
 		return 0, err
 	}
 	entry.Blob = bid
 	entry.StoredBytes = len(blob)
 	r.layout.Entries = append(r.layout.Entries, entry)
 	if err := r.save(); err != nil {
+		r.layout.Entries = r.layout.Entries[:id]
+		rollback()
 		return 0, err
 	}
 	return id, nil
 }
 
 // Repack migrates loose blobs into a single packfile (git-repack style,
-// §5.2); checkouts are unaffected.
+// §5.2); checkouts are unaffected. Only filesystem backends pack.
 func (r *Repo) Repack() (string, error) {
-	return r.store.Repack()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type repacker interface{ Repack() (string, error) }
+	rp, ok := r.backend.(repacker)
+	if !ok {
+		return "", fmt.Errorf("repo: repack: backend %T does not support packfiles", r.backend)
+	}
+	return rp.Repack()
 }
 
-// Checkout reconstructs version v's payload.
+// Checkout reconstructs version v's payload. With a cache enabled the
+// returned slice may be shared; treat it as read-only.
 func (r *Repo) Checkout(v int) ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.checkoutLocked(v)
+}
+
+func (r *Repo) checkoutLocked(v int) ([]byte, error) {
 	if v < 0 || v >= len(r.meta.Versions) {
-		return nil, fmt.Errorf("repo: version %d out of range [0,%d)", v, len(r.meta.Versions))
+		return nil, fmt.Errorf("repo: version %d out of range [0,%d): %w", v, len(r.meta.Versions), ErrUnknownVersion)
 	}
 	return r.layout.Checkout(v)
 }
@@ -241,16 +372,21 @@ type Stats struct {
 	LogicalBytes int64 // Σ version sizes
 	MaxChainHops int
 	SumChainHops int
+	CacheHits    uint64
+	CacheMisses  uint64
 }
 
 // Stats computes the current storage statistics.
 func (r *Repo) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	st := Stats{
 		Versions:     len(r.meta.Versions),
 		Branches:     len(r.meta.Branches),
 		Materialized: r.layout.NumMaterialized(),
 		StoredBytes:  r.layout.StoredBytes(),
 	}
+	st.CacheHits, st.CacheMisses = r.layout.Cache().Stats()
 	for _, v := range r.meta.Versions {
 		st.LogicalBytes += v.Size
 	}
@@ -295,16 +431,19 @@ type OptimizeOptions struct {
 // Optimize recomputes the global storage layout: it checks out every
 // version, differences versions within the hop radius, builds the augmented
 // graph, runs the selected algorithm, and rewrites the physical layout
-// accordingly. It returns the solution chosen.
+// accordingly. It returns the solution chosen. Readers are blocked for the
+// duration; the checkout cache restarts empty at the same capacity.
 func (r *Repo) Optimize(opts OptimizeOptions) (*solve.Solution, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := len(r.meta.Versions)
 	if n == 0 {
-		return nil, fmt.Errorf("repo: optimize: empty repository")
+		return nil, fmt.Errorf("repo: optimize: %w", ErrEmptyRepo)
 	}
 	payloads := make([][]byte, n)
 	for v := 0; v < n; v++ {
 		var err error
-		if payloads[v], err = r.Checkout(v); err != nil {
+		if payloads[v], err = r.checkoutLocked(v); err != nil {
 			return nil, err
 		}
 	}
@@ -352,10 +491,11 @@ func (r *Repo) Optimize(opts OptimizeOptions) (*solve.Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	newLayout, err := store.BuildLayout(r.store, payloads, sol.Tree, opts.Compress)
+	newLayout, err := store.BuildLayout(r.backend, payloads, sol.Tree, opts.Compress)
 	if err != nil {
 		return nil, err
 	}
+	newLayout.SetCache(store.NewVersionCache(r.cacheSize))
 	r.layout = newLayout
 	return sol, r.save()
 }

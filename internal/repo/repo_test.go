@@ -2,11 +2,13 @@ package repo
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"versiondb/internal/dataset"
+	"versiondb/internal/store"
 )
 
 func newRepo(t *testing.T) *Repo {
@@ -180,6 +182,111 @@ func TestPersistenceAcrossOpen(t *testing.T) {
 func TestOpenMissingRepo(t *testing.T) {
 	if _, err := Open(t.TempDir()); err == nil {
 		t.Errorf("Open on empty dir succeeded")
+	}
+}
+
+func TestMemBackendRoundTrip(t *testing.T) {
+	b := store.NewMemStore()
+	r, err := InitBackend(b)
+	if err != nil {
+		t.Fatalf("InitBackend: %v", err)
+	}
+	if _, err := InitBackend(b); err == nil {
+		t.Errorf("double InitBackend on same backend succeeded")
+	}
+	rng := rand.New(rand.NewSource(8))
+	var want [][]byte
+	for i := 0; i < 4; i++ {
+		p := csvPayload(t, rng, 20+i)
+		if _, err := r.Commit(DefaultBranch, p, "c"); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		want = append(want, p)
+	}
+	// Reopen from the same backend, as a serving process would after
+	// handing the store over.
+	r2, err := OpenBackend(b)
+	if err != nil {
+		t.Fatalf("OpenBackend: %v", err)
+	}
+	for v, p := range want {
+		got, err := r2.Checkout(v)
+		if err != nil || !bytes.Equal(got, p) {
+			t.Errorf("Checkout(%d) after reopen failed: %v", v, err)
+		}
+	}
+	if _, err := r2.Repack(); err == nil {
+		t.Errorf("Repack on in-memory backend succeeded")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(9))
+	if _, err := r.Commit(DefaultBranch, csvPayload(t, rng, 10), "root"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Checkout(5); !errors.Is(err, ErrUnknownVersion) {
+		t.Errorf("Checkout(5) err = %v, want ErrUnknownVersion", err)
+	}
+	if _, err := r.Commit("ghost", nil, "m"); !errors.Is(err, ErrUnknownBranch) {
+		t.Errorf("Commit(ghost) err = %v, want ErrUnknownBranch", err)
+	}
+	if _, err := r.Tip("ghost"); !errors.Is(err, ErrUnknownBranch) {
+		t.Errorf("Tip(ghost) err = %v, want ErrUnknownBranch", err)
+	}
+	if err := r.Branch("b", 7); !errors.Is(err, ErrUnknownVersion) {
+		t.Errorf("Branch from missing err = %v, want ErrUnknownVersion", err)
+	}
+	if err := r.Branch("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Branch("b", 0); !errors.Is(err, ErrBranchExists) {
+		t.Errorf("duplicate Branch err = %v, want ErrBranchExists", err)
+	}
+	if _, err := r.Merge("b", 9, nil, "m"); !errors.Is(err, ErrUnknownVersion) {
+		t.Errorf("Merge of missing err = %v, want ErrUnknownVersion", err)
+	}
+	if _, err := r.Merge("b", 0, nil, "m"); !errors.Is(err, ErrInvalidMerge) {
+		t.Errorf("Merge of own tip err = %v, want ErrInvalidMerge", err)
+	}
+	empty := newRepo(t)
+	if _, err := empty.Optimize(OptimizeOptions{}); !errors.Is(err, ErrEmptyRepo) {
+		t.Errorf("Optimize on empty err = %v, want ErrEmptyRepo", err)
+	}
+}
+
+func TestCacheSurvivesOptimize(t *testing.T) {
+	r, payloads := buildBranchyRepo(t, 7)
+	r.EnableCache(16)
+	last := len(payloads) - 1
+	if _, err := r.Checkout(last); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Checkout(last); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := r.CacheStats()
+	if hits == 0 {
+		t.Fatalf("no cache hit before optimize")
+	}
+	if _, err := r.Optimize(OptimizeOptions{Objective: MinStorageObjective, RevealHops: 4}); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	// The rebuilt layout starts with a fresh cache of the same capacity:
+	// first checkout misses, second hits, and content stays intact.
+	hits0, _ := r.CacheStats()
+	if hits0 != 0 {
+		t.Errorf("cache stats carried across optimize: %d hits", hits0)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := r.Checkout(last)
+		if err != nil || !bytes.Equal(got, payloads[last]) {
+			t.Fatalf("Checkout after optimize: %v", err)
+		}
+	}
+	if hits, _ := r.CacheStats(); hits == 0 {
+		t.Errorf("cache disabled after optimize")
 	}
 }
 

@@ -1,0 +1,42 @@
+package store
+
+// Backend is a content-addressed blob store: the physical substrate every
+// storage layout is built on. Implementations must be safe for concurrent
+// use by multiple goroutines — the serving path issues parallel reads
+// against a backend while commits write to it.
+//
+// Two implementations ship with the package: ObjectStore (loose objects +
+// packfiles on a local filesystem, the paper's prototype medium) and
+// MemStore (a lock-guarded map, for serving replicas and tests). Remote
+// backends (e.g. an S3-style store) only need these five methods plus
+// MetaStore.
+type Backend interface {
+	// Put writes data idempotently and returns its content address.
+	Put(data []byte) (ID, error)
+	// Get reads the blob with the given ID, verifying its content address.
+	Get(id ID) ([]byte, error)
+	// Has reports whether the blob exists.
+	Has(id ID) bool
+	// Delete removes a blob; deleting a missing blob is not an error.
+	Delete(id ID) error
+	// List returns the IDs of all stored blobs in sorted order.
+	List() ([]ID, error)
+}
+
+// MetaStore persists small named metadata documents (layout.json,
+// meta.json) next to the blobs. Writes must be atomic: a reader of a name
+// sees either the old or the new document, never a torn mix — the property
+// the repository layer relies on for crash-consistent meta persistence.
+// Missing names yield an error satisfying errors.Is(err, fs.ErrNotExist).
+type MetaStore interface {
+	PutMeta(name string, data []byte) error
+	GetMeta(name string) ([]byte, error)
+}
+
+// Compile-time conformance of both shipped backends.
+var (
+	_ Backend   = (*ObjectStore)(nil)
+	_ MetaStore = (*ObjectStore)(nil)
+	_ Backend   = (*MemStore)(nil)
+	_ MetaStore = (*MemStore)(nil)
+)

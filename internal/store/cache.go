@@ -1,0 +1,95 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// VersionCache is a bounded LRU of materialized version payloads keyed by
+// version index. On the serving path it caps the effective recreation cost
+// Φ: a checkout whose version (or any chain ancestor) is cached replays
+// only the deltas below the cached node — zero for an exact hit.
+//
+// The cache is safe for concurrent use. Cached payloads are shared, not
+// copied; callers must treat checkout results as read-only.
+type VersionCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[int]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheItem struct {
+	v       int
+	payload []byte
+}
+
+// NewVersionCache returns an LRU holding at most capacity payloads.
+// Capacity ≤ 0 yields a nil cache, meaning "disabled".
+func NewVersionCache(capacity int) *VersionCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &VersionCache{cap: capacity, ll: list.New(), items: map[int]*list.Element{}}
+}
+
+// Get returns the cached payload for v, promoting it to most recently
+// used. A nil cache always misses without counting.
+func (c *VersionCache) Get(v int) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[v]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).payload, true
+}
+
+// Put inserts or refreshes v's payload, evicting the least recently used
+// entry when over capacity.
+func (c *VersionCache) Put(v int, payload []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[v]; ok {
+		el.Value.(*cacheItem).payload = payload
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[v] = c.ll.PushFront(&cacheItem{v: v, payload: payload})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).v)
+	}
+}
+
+// Len returns the number of cached payloads.
+func (c *VersionCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *VersionCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"versiondb/internal/graph"
+)
+
+func TestVersionCacheHitAndEviction(t *testing.T) {
+	c := NewVersionCache(2)
+	c.Put(1, []byte("one"))
+	c.Put(2, []byte("two"))
+	if got, ok := c.Get(1); !ok || string(got) != "one" {
+		t.Fatalf("Get(1) = %q, %v", got, ok)
+	}
+	// 2 is now least recently used; inserting 3 evicts it.
+	c.Put(3, []byte("three"))
+	if _, ok := c.Get(2); ok {
+		t.Errorf("evicted entry 2 still present")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Errorf("recently used entry 1 evicted")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Errorf("fresh entry 3 missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 3/1", hits, misses)
+	}
+	// Refreshing an existing key must not grow the cache.
+	c.Put(3, []byte("three'"))
+	if c.Len() != 2 {
+		t.Errorf("Len after refresh = %d, want 2", c.Len())
+	}
+	if got, _ := c.Get(3); string(got) != "three'" {
+		t.Errorf("refresh did not replace payload: %q", got)
+	}
+}
+
+func TestNilVersionCacheIsDisabled(t *testing.T) {
+	c := NewVersionCache(0)
+	if c != nil {
+		t.Fatalf("capacity 0 should yield nil cache")
+	}
+	c.Put(1, []byte("x")) // must not panic
+	if _, ok := c.Get(1); ok {
+		t.Errorf("nil cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len != 0")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Errorf("nil cache stats = %d/%d", h, m)
+	}
+}
+
+// linearLayout stores n chained versions: version 0 materialized, each
+// later one a delta off its predecessor.
+func linearLayout(t *testing.T, b Backend, n int) (*Layout, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	payloads := chainPayloads(rng, n)
+	tr := graph.NewTree(n+1, 0)
+	for v := 1; v <= n; v++ {
+		tr.SetEdge(graph.Edge{From: v - 1, To: v})
+	}
+	l, err := BuildLayout(b, payloads, tr, false)
+	if err != nil {
+		t.Fatalf("BuildLayout: %v", err)
+	}
+	return l, payloads
+}
+
+func TestCheckoutCacheSkipsDeltaReplay(t *testing.T) {
+	const n = 6
+	l, payloads := linearLayout(t, NewMemStore(), n)
+	l.SetCache(NewVersionCache(4))
+
+	// Cold checkout of the deepest version replays the full chain.
+	got, err := l.Checkout(n - 1)
+	if err != nil || !bytes.Equal(got, payloads[n-1]) {
+		t.Fatalf("cold Checkout: %v", err)
+	}
+	if d := l.DeltaApplications(); d != n-1 {
+		t.Fatalf("cold checkout applied %d deltas, want %d", d, n-1)
+	}
+	// Hot checkout of the same version must apply zero deltas.
+	got, err = l.Checkout(n - 1)
+	if err != nil || !bytes.Equal(got, payloads[n-1]) {
+		t.Fatalf("hot Checkout: %v", err)
+	}
+	if d := l.DeltaApplications(); d != n-1 {
+		t.Errorf("hot checkout applied %d extra deltas, want 0", d-(n-1))
+	}
+	if hits, _ := l.Cache().Stats(); hits == 0 {
+		t.Errorf("hot checkout did not hit the cache")
+	}
+}
+
+func TestCheckoutUsesCachedAncestor(t *testing.T) {
+	const n = 6
+	l, payloads := linearLayout(t, NewMemStore(), n)
+	l.SetCache(NewVersionCache(4))
+
+	// Prime version 2: 2 delta applications (1 and 2 onto materialized 0).
+	if _, err := l.Checkout(2); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.DeltaApplications(); d != 2 {
+		t.Fatalf("priming applied %d deltas, want 2", d)
+	}
+	// Checking out 4 should replay only 3 and 4 on top of cached 2.
+	got, err := l.Checkout(4)
+	if err != nil || !bytes.Equal(got, payloads[4]) {
+		t.Fatalf("Checkout(4): %v", err)
+	}
+	if d := l.DeltaApplications(); d != 4 {
+		t.Errorf("ancestor-hit checkout applied %d total deltas, want 4", d)
+	}
+}
+
+func TestCheckoutWithoutCacheStillCounts(t *testing.T) {
+	const n = 4
+	l, payloads := linearLayout(t, NewMemStore(), n)
+	for i := 0; i < 2; i++ {
+		got, err := l.Checkout(n - 1)
+		if err != nil || !bytes.Equal(got, payloads[n-1]) {
+			t.Fatalf("Checkout: %v", err)
+		}
+	}
+	if d := l.DeltaApplications(); d != 2*(n-1) {
+		t.Errorf("uncached checkouts applied %d deltas, want %d", d, 2*(n-1))
+	}
+}

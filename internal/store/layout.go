@@ -3,8 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+	"sync/atomic"
 
 	"versiondb/internal/delta"
 	"versiondb/internal/graph"
@@ -19,20 +18,28 @@ type Entry struct {
 	StoredBytes  int  `json:"stored_bytes"`
 }
 
-// Layout places n version payloads into an object store according to a
-// storage tree over the augmented graph (vertex 0 = dummy root, vertex i+1
-// = version i).
+// Layout places n version payloads into a backend according to a storage
+// tree over the augmented graph (vertex 0 = dummy root, vertex i+1 =
+// version i). An optional VersionCache short-circuits checkouts: the delta
+// chain is replayed only below the nearest cached ancestor.
+//
+// Concurrent checkouts are safe as long as Entries is not being mutated
+// at the same time; the repository layer serializes mutation behind its
+// write lock.
 type Layout struct {
-	store   *ObjectStore
+	backend Backend
+	cache   *VersionCache
+	deltas  atomic.Int64 // cumulative delta applications
+
 	Entries []Entry `json:"entries"`
 }
 
-// BuildLayout writes every version into the store per the tree: children of
-// the root are stored whole; every other version is stored as the one-way
-// line delta from its tree parent. With compress=true both payloads and
-// deltas are flate-compressed, shrinking Δ while leaving apply work Φ
-// untouched — the paper's compressed-delta regime.
-func BuildLayout(s *ObjectStore, payloads [][]byte, tree *graph.Tree, compress bool) (*Layout, error) {
+// BuildLayout writes every version into the backend per the tree: children
+// of the root are stored whole; every other version is stored as the
+// one-way line delta from its tree parent. With compress=true both
+// payloads and deltas are flate-compressed, shrinking Δ while leaving
+// apply work Φ untouched — the paper's compressed-delta regime.
+func BuildLayout(b Backend, payloads [][]byte, tree *graph.Tree, compress bool) (*Layout, error) {
 	n := len(payloads)
 	if tree.N() != n+1 {
 		return nil, fmt.Errorf("store: tree spans %d vertices, want %d (versions+root)", tree.N(), n+1)
@@ -40,7 +47,7 @@ func BuildLayout(s *ObjectStore, payloads [][]byte, tree *graph.Tree, compress b
 	if err := tree.Validate(); err != nil {
 		return nil, fmt.Errorf("store: layout tree: %w", err)
 	}
-	l := &Layout{store: s, Entries: make([]Entry, n)}
+	l := &Layout{backend: b, Entries: make([]Entry, n)}
 	for _, vtx := range tree.TopoOrder() {
 		if vtx == tree.Root {
 			continue
@@ -60,7 +67,7 @@ func BuildLayout(s *ObjectStore, payloads [][]byte, tree *graph.Tree, compress b
 			blob = delta.Compress(blob)
 			e.Compressed = true
 		}
-		id, err := s.Put(blob)
+		id, err := b.Put(blob)
 		if err != nil {
 			return nil, err
 		}
@@ -71,15 +78,38 @@ func BuildLayout(s *ObjectStore, payloads [][]byte, tree *graph.Tree, compress b
 	return l, nil
 }
 
+// Backend returns the blob store the layout reads from and writes to.
+func (l *Layout) Backend() Backend { return l.backend }
+
+// SetCache installs (or, with nil, removes) the materialized-version LRU
+// consulted by Checkout.
+func (l *Layout) SetCache(c *VersionCache) { l.cache = c }
+
+// Cache returns the installed cache, nil when disabled.
+func (l *Layout) Cache() *VersionCache { return l.cache }
+
+// DeltaApplications returns the cumulative number of deltas this layout
+// has applied across all checkouts — the observable share of Φ actually
+// paid. A fully cache-served checkout adds zero.
+func (l *Layout) DeltaApplications() int64 { return l.deltas.Load() }
+
 // Checkout reconstructs version v by walking its delta chain down from the
-// nearest materialized ancestor.
+// nearest materialized ancestor — or the nearest cached one, whichever
+// comes first. Results land in the cache; callers must treat the returned
+// slice as read-only when a cache is installed.
 func (l *Layout) Checkout(v int) ([]byte, error) {
 	if v < 0 || v >= len(l.Entries) {
 		return nil, fmt.Errorf("store: checkout version %d out of range [0,%d)", v, len(l.Entries))
 	}
-	// Collect the chain materialized → ... → v.
+	// Collect the chain base → ... → v, stopping early at a cache hit.
 	var chain []int
+	var cur []byte
+	fromCache := false
 	for u := v; ; u = l.Entries[u].Parent {
+		if p, ok := l.cache.Get(u); ok {
+			cur, fromCache = p, true
+			break
+		}
 		chain = append(chain, u)
 		if l.Entries[u].Materialized {
 			break
@@ -88,7 +118,6 @@ func (l *Layout) Checkout(v int) ([]byte, error) {
 			return nil, fmt.Errorf("store: delta chain cycle at version %d", v)
 		}
 	}
-	var cur []byte
 	for i := len(chain) - 1; i >= 0; i-- {
 		u := chain[i]
 		blob, err := l.blobOf(u)
@@ -103,12 +132,16 @@ func (l *Layout) Checkout(v int) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: checkout %d: applying delta for %d: %w", v, u, err)
 		}
+		l.deltas.Add(1)
+	}
+	if !fromCache || len(chain) > 0 {
+		l.cache.Put(v, cur)
 	}
 	return cur, nil
 }
 
 func (l *Layout) blobOf(v int) ([]byte, error) {
-	blob, err := l.store.Get(l.Entries[v].Blob)
+	blob, err := l.backend.Get(l.Entries[v].Blob)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +155,8 @@ func (l *Layout) blobOf(v int) ([]byte, error) {
 
 // CheckoutWork returns the total stored bytes read and applied to
 // reconstruct v — the physical counterpart of the model's recreation cost
-// Φ (materialized payload plus every delta on the chain).
+// Φ (materialized payload plus every delta on the chain). The cache is
+// deliberately ignored: this is the cold cost.
 func (l *Layout) CheckoutWork(v int) int64 {
 	var work int64
 	for u := v; ; u = l.Entries[u].Parent {
@@ -133,7 +167,8 @@ func (l *Layout) CheckoutWork(v int) int64 {
 	}
 }
 
-// ChainLength returns the number of deltas applied when checking out v.
+// ChainLength returns the number of deltas applied when checking out v
+// cold (cache ignored).
 func (l *Layout) ChainLength(v int) int {
 	n := 0
 	for u := v; !l.Entries[u].Materialized; u = l.Entries[u].Parent {
@@ -162,22 +197,33 @@ func (l *Layout) NumMaterialized() int {
 	return n
 }
 
-// Save persists the layout metadata as JSON under the store directory.
+// layoutMetaName is the metadata document holding the serialized layout.
+const layoutMetaName = "layout.json"
+
+// Save persists the layout metadata through the backend's MetaStore.
 func (l *Layout) Save() error {
+	ms, ok := l.backend.(MetaStore)
+	if !ok {
+		return fmt.Errorf("store: save layout: backend %T does not persist metadata", l.backend)
+	}
 	data, err := json.MarshalIndent(l, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: save layout: %w", err)
 	}
-	return os.WriteFile(filepath.Join(l.store.Dir(), "layout.json"), data, 0o644)
+	return ms.PutMeta(layoutMetaName, data)
 }
 
-// LoadLayout reads layout metadata from the store directory.
-func LoadLayout(s *ObjectStore) (*Layout, error) {
-	data, err := os.ReadFile(filepath.Join(s.Dir(), "layout.json"))
+// LoadLayout reads layout metadata from the backend's MetaStore.
+func LoadLayout(b Backend) (*Layout, error) {
+	ms, ok := b.(MetaStore)
+	if !ok {
+		return nil, fmt.Errorf("store: load layout: backend %T does not persist metadata", b)
+	}
+	data, err := ms.GetMeta(layoutMetaName)
 	if err != nil {
 		return nil, fmt.Errorf("store: load layout: %w", err)
 	}
-	l := &Layout{store: s}
+	l := &Layout{backend: b}
 	if err := json.Unmarshal(data, l); err != nil {
 		return nil, fmt.Errorf("store: load layout: %w", err)
 	}

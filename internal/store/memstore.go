@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// MemStore is a concurrency-safe in-memory Backend. It backs serving
+// replicas (where the working set fits in RAM and checkout latency matters
+// more than durability) and tests; contents vanish with the process.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[ID][]byte
+	meta  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: map[ID][]byte{}, meta: map[string][]byte{}}
+}
+
+// Put stores a copy of data under its content address.
+func (s *MemStore) Put(data []byte) (ID, error) {
+	id := HashBytes(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[id]; !ok {
+		s.blobs[id] = append([]byte(nil), data...)
+	}
+	return id, nil
+}
+
+// Get returns a copy of the blob, so callers can never corrupt the store.
+func (s *MemStore) Get(id ID) ([]byte, error) {
+	if len(id) != 64 {
+		return nil, fmt.Errorf("store: malformed id %q", id)
+	}
+	s.mu.RLock()
+	data, ok := s.blobs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: get %s: %w", shortID(id), fs.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Has reports whether the blob exists.
+func (s *MemStore) Has(id ID) bool {
+	if len(id) != 64 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blobs[id]
+	return ok
+}
+
+// Delete removes a blob; missing blobs are ignored.
+func (s *MemStore) Delete(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, id)
+	return nil
+}
+
+// List returns all blob IDs in sorted order.
+func (s *MemStore) List() ([]ID, error) {
+	s.mu.RLock()
+	out := make([]ID, 0, len(s.blobs))
+	for id := range s.blobs {
+		out = append(out, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// TotalBytes sums the sizes of all stored blobs.
+func (s *MemStore) TotalBytes() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, b := range s.blobs {
+		total += int64(len(b))
+	}
+	return total, nil
+}
+
+// PutMeta atomically replaces the named metadata document.
+func (s *MemStore) PutMeta(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// GetMeta returns a copy of the named metadata document.
+func (s *MemStore) GetMeta(name string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.meta[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: meta %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}

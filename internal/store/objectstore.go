@@ -1,9 +1,11 @@
-// Package store implements the prototype's on-disk physical layer: a
-// content-addressed object store (SHA-256) and a Layout that places version
-// payloads according to a chosen storage graph — materialized versions as
-// full blobs, the rest as (optionally compressed) line-delta blobs chained
-// along tree edges. Checkout walks the root→version path, exactly the
-// recreation procedure whose cost the paper's Φ models.
+// Package store implements the physical layer: a content-addressed object
+// store behind a pluggable Backend interface and a Layout that places
+// version payloads according to a chosen storage graph — materialized
+// versions as full blobs, the rest as (optionally compressed) line-delta
+// blobs chained along tree edges. Checkout walks the root→version path,
+// exactly the recreation procedure whose cost the paper's Φ models; a
+// bounded LRU cache of materialized versions lets hot checkouts skip the
+// delta replay entirely.
 package store
 
 import (
@@ -12,16 +14,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // ID is the hex SHA-256 of a blob's content.
 type ID string
 
-// ObjectStore is a content-addressed blob store rooted at a directory.
-// Blobs live loose under objects/ or inside packfiles under packs/ (see
-// Repack); reads consult both.
+// ObjectStore is the filesystem Backend: a content-addressed blob store
+// rooted at a directory. Blobs live loose under objects/ or inside
+// packfiles under packs/ (see Repack); reads consult both. All methods are
+// safe for concurrent use: loose-object writes go through unique temp
+// files plus atomic rename, and the pack list is guarded by a read/write
+// lock.
 type ObjectStore struct {
-	dir   string
+	dir string
+
+	mu    sync.RWMutex // guards packs
 	packs []*Pack
 }
 
@@ -73,11 +83,24 @@ func (s *ObjectStore) Put(data []byte) (ID, error) {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return "", fmt.Errorf("store: put: %w", err)
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Unique temp name so concurrent writers of the same blob never tread
+	// on each other's half-written file; the final rename is atomic and
+	// idempotent (identical content).
+	tmp, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+	if err != nil {
 		return "", fmt.Errorf("store: put: %w", err)
 	}
-	if err := os.Rename(tmp, p); err != nil {
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
 		return "", fmt.Errorf("store: put: %w", err)
 	}
 	return id, nil
@@ -115,6 +138,8 @@ func (s *ObjectStore) Has(id ID) bool {
 
 // inPack returns the pack containing id, if any.
 func (s *ObjectStore) inPack(id ID) *Pack {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, p := range s.packs {
 		if p.Has(id) {
 			return p
@@ -124,11 +149,90 @@ func (s *ObjectStore) inPack(id ID) *Pack {
 }
 
 // Delete removes a blob (used when re-laying-out after optimization).
+// Packed blobs are not deleted; repacking rewrites them wholesale.
 func (s *ObjectStore) Delete(id ID) error {
 	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: delete %s: %w", shortID(id), err)
 	}
 	return nil
+}
+
+// List returns the IDs of all blobs, loose and packed, in sorted order.
+func (s *ObjectStore) List() ([]ID, error) {
+	seen := map[ID]bool{}
+	objRoot := filepath.Join(s.dir, "objects")
+	err := filepath.Walk(objRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return filepath.SkipAll
+			}
+			return err
+		}
+		if info.IsDir() || strings.Contains(info.Name(), ".tmp") {
+			return nil
+		}
+		id := ID(filepath.Base(filepath.Dir(path)) + filepath.Base(path))
+		if len(id) == 64 {
+			seen[id] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	s.mu.RLock()
+	for _, p := range s.packs {
+		for _, id := range p.IDs() {
+			seen[id] = true
+		}
+	}
+	s.mu.RUnlock()
+	out := make([]ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// PutMeta atomically writes a named metadata document under the store
+// directory (temp file + rename, so readers never observe a torn write).
+func (s *ObjectStore) PutMeta(name string, data []byte) error {
+	if name == "" || filepath.Base(name) != name {
+		return fmt.Errorf("store: meta name %q must be a bare filename", name)
+	}
+	p := filepath.Join(s.dir, name)
+	tmp, err := os.CreateTemp(s.dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: put meta %s: %w", name, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: put meta %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: put meta %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: put meta %s: %w", name, err)
+	}
+	return nil
+}
+
+// GetMeta reads a named metadata document. A missing name satisfies
+// errors.Is(err, fs.ErrNotExist).
+func (s *ObjectStore) GetMeta(name string) ([]byte, error) {
+	if name == "" || filepath.Base(name) != name {
+		return nil, fmt.Errorf("store: meta name %q must be a bare filename", name)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: get meta %s: %w", name, err)
+	}
+	return data, nil
 }
 
 // TotalBytes sums the sizes of all stored blobs, loose and packed (pack

@@ -217,7 +217,9 @@ func (s *ObjectStore) Repack() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.mu.Lock()
 	s.packs = append(s.packs, pack)
+	s.mu.Unlock()
 	for id := range blobs {
 		if err := os.Remove(s.path(id)); err != nil {
 			return "", fmt.Errorf("store: repack: removing loose %s: %w", shortID(id), err)

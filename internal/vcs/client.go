@@ -45,11 +45,12 @@ func (c *Client) get(path string, resp any) error {
 
 func decodeResponse(path string, httpResp *http.Response, resp any) error {
 	if httpResp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: httpResp.StatusCode, Path: path}
 		var e ErrorResponse
-		if json.NewDecoder(httpResp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("vcs: %s: server: %s", path, e.Error)
+		if json.NewDecoder(httpResp.Body).Decode(&e) == nil {
+			se.Msg = e.Error
 		}
-		return fmt.Errorf("vcs: %s: status %d", path, httpResp.StatusCode)
+		return se
 	}
 	if resp == nil {
 		return nil

@@ -5,7 +5,13 @@
 // optimize calls. Payloads travel base64-encoded inside JSON bodies.
 package vcs
 
-import "versiondb/internal/repo"
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"versiondb/internal/repo"
+)
 
 // CommitRequest creates a new version on a branch.
 type CommitRequest struct {
@@ -59,15 +65,41 @@ type OptimizeResponse struct {
 
 // StatsResponse reports repository statistics.
 type StatsResponse struct {
-	Versions     int   `json:"versions"`
-	Branches     int   `json:"branches"`
-	Materialized int   `json:"materialized"`
-	StoredBytes  int64 `json:"stored_bytes"`
-	LogicalBytes int64 `json:"logical_bytes"`
-	MaxChainHops int   `json:"max_chain_hops"`
+	Versions     int    `json:"versions"`
+	Branches     int    `json:"branches"`
+	Materialized int    `json:"materialized"`
+	StoredBytes  int64  `json:"stored_bytes"`
+	LogicalBytes int64  `json:"logical_bytes"`
+	MaxChainHops int    `json:"max_chain_hops"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
 }
 
 // ErrorResponse is the uniform error body.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// StatusError is returned by Client calls when the server answers with a
+// non-200 status. Code preserves the HTTP status so callers can tell a
+// missing version or branch (404) from a conflict (409) or a server fault
+// (500); use errors.As, or IsNotFound for the common case.
+type StatusError struct {
+	Code int    // HTTP status code
+	Path string // request path
+	Msg  string // server-provided error message, if any
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("vcs: %s: server (%d): %s", e.Path, e.Code, e.Msg)
+	}
+	return fmt.Sprintf("vcs: %s: status %d", e.Path, e.Code)
+}
+
+// IsNotFound reports whether err is a server 404 — an unknown version or
+// branch.
+func IsNotFound(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusNotFound
 }

@@ -2,17 +2,20 @@ package vcs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 
 	"versiondb/internal/repo"
 )
 
-// Server serves one repository over HTTP.
+// Server serves one repository over HTTP. Concurrency control lives in the
+// repository itself (an RWMutex multi-reader service), so read endpoints
+// (/checkout, /log, /stats) proceed in parallel and serialize only against
+// write endpoints (/commit, /branch, /optimize) — the server adds no lock
+// layer of its own.
 type Server struct {
-	mu   sync.Mutex
 	repo *repo.Repo
 }
 
@@ -41,6 +44,21 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
+// statusFor maps repository errors to HTTP statuses: missing versions and
+// branches are 404, conflicts (duplicate branch, empty repo) are 409, and
+// only genuinely unexpected faults fall through to 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, repo.ErrUnknownVersion), errors.Is(err, repo.ErrUnknownBranch):
+		return http.StatusNotFound
+	case errors.Is(err, repo.ErrBranchExists), errors.Is(err, repo.ErrEmptyRepo),
+		errors.Is(err, repo.ErrInvalidMerge):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	var req CommitRequest
 	req.MergeParent = -1
@@ -48,8 +66,6 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var id int
 	var err error
 	if req.MergeParent >= 0 {
@@ -58,7 +74,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		id, err = s.repo.Commit(req.Branch, req.Payload, req.Message)
 	}
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CommitResponse{ID: id})
@@ -70,11 +86,9 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad version: %w", err))
 		return
 	}
-	s.mu.Lock()
 	payload, err := s.repo.Checkout(v)
-	s.mu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CheckoutResponse{ID: v, Payload: payload})
@@ -86,20 +100,16 @@ func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	s.mu.Lock()
 	err := s.repo.Branch(req.Name, req.From)
-	s.mu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
 	log := s.repo.Log()
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, LogResponse{Versions: log})
 }
 
@@ -126,15 +136,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown objective %q", req.Objective))
 		return
 	}
-	s.mu.Lock()
 	sol, err := s.repo.Optimize(opts)
 	var stored int64
 	if err == nil {
 		stored = s.repo.Stats().StoredBytes
 	}
-	s.mu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, OptimizeResponse{
@@ -147,9 +155,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
 	st := s.repo.Stats()
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Versions:     st.Versions,
 		Branches:     st.Branches,
@@ -157,5 +163,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		StoredBytes:  st.StoredBytes,
 		LogicalBytes: st.LogicalBytes,
 		MaxChainHops: st.MaxChainHops,
+		CacheHits:    st.CacheHits,
+		CacheMisses:  st.CacheMisses,
 	})
 }

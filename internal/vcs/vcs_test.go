@@ -2,8 +2,11 @@ package vcs
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"versiondb/internal/dataset"
@@ -12,13 +15,19 @@ import (
 
 func newClientServer(t *testing.T) *Client {
 	t.Helper()
+	c, _ := newServerURL(t)
+	return c
+}
+
+func newServerURL(t *testing.T) (*Client, string) {
+	t.Helper()
 	r, err := repo.Init(t.TempDir())
 	if err != nil {
 		t.Fatalf("Init: %v", err)
 	}
 	srv := httptest.NewServer(NewServer(r).Handler())
 	t.Cleanup(srv.Close)
-	return NewClient(srv.URL)
+	return NewClient(srv.URL), srv.URL
 }
 
 func payload(t testing.TB, seed int64, rows int) []byte {
@@ -140,6 +149,74 @@ func TestServerErrorsSurfaceToClient(t *testing.T) {
 	}
 	if _, err := c.Optimize(OptimizeRequest{Objective: "bogus"}); err == nil {
 		t.Errorf("bogus objective accepted")
+	}
+}
+
+// wantStatus asserts the raw HTTP status of a request against the server.
+func wantStatus(t *testing.T, method, url, body string, want int) {
+	t.Helper()
+	var (
+		resp *http.Response
+		err  error
+	)
+	if method == http.MethodGet {
+		resp, err = http.Get(url)
+	} else {
+		resp, err = http.Post(url, "application/json", strings.NewReader(body))
+	}
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Errorf("%s %s = %d, want %d", method, url, resp.StatusCode, want)
+	}
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	c, base := newServerURL(t)
+	if _, err := c.Commit(repo.DefaultBranch, payload(t, 20, 20), "root"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Missing resources are 404, not blanket 500.
+	wantStatus(t, http.MethodGet, base+"/checkout?v=99", "", http.StatusNotFound)
+	wantStatus(t, http.MethodGet, base+"/checkout?v=-1", "", http.StatusNotFound)
+	wantStatus(t, http.MethodPost, base+"/branch", `{"name":"b","from":42}`, http.StatusNotFound)
+	wantStatus(t, http.MethodPost, base+"/commit", `{"branch":"ghost","merge_parent":-1}`, http.StatusNotFound)
+	// Conflicts are 409.
+	wantStatus(t, http.MethodPost, base+"/branch", `{"name":"dup","from":0}`, http.StatusOK)
+	wantStatus(t, http.MethodPost, base+"/branch", `{"name":"dup","from":0}`, http.StatusConflict)
+	// Merging the branch tip into itself is a client conflict, not a 500.
+	wantStatus(t, http.MethodPost, base+"/commit", `{"branch":"master","merge_parent":0}`, http.StatusConflict)
+	// Malformed requests are 400.
+	wantStatus(t, http.MethodGet, base+"/checkout?v=abc", "", http.StatusBadRequest)
+	wantStatus(t, http.MethodPost, base+"/commit", `{broken`, http.StatusBadRequest)
+	wantStatus(t, http.MethodPost, base+"/optimize", `{"objective":"bogus"}`, http.StatusBadRequest)
+}
+
+func TestOptimizeEmptyRepoConflicts(t *testing.T) {
+	_, base := newServerURL(t)
+	wantStatus(t, http.MethodPost, base+"/optimize", `{"objective":"min-storage"}`, http.StatusConflict)
+}
+
+func TestClientSurfacesStatusError(t *testing.T) {
+	c := newClientServer(t)
+	_, err := c.Checkout(7)
+	if err == nil {
+		t.Fatalf("Checkout on empty repo succeeded")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a StatusError", err)
+	}
+	if se.Code != http.StatusNotFound {
+		t.Errorf("Code = %d, want 404", se.Code)
+	}
+	if !IsNotFound(err) {
+		t.Errorf("IsNotFound = false for %v", err)
+	}
+	if IsNotFound(errors.New("other")) {
+		t.Errorf("IsNotFound = true for unrelated error")
 	}
 }
 

@@ -36,12 +36,33 @@
 // workload generators (internal/workload), and a benchmark harness that
 // regenerates each table and figure of the evaluation (internal/bench,
 // cmd/vbench).
+//
+// # Storage backends, caching, and concurrency
+//
+// The physical layer is pluggable: every layout reads and writes blobs
+// through the Backend interface (Put/Get/Has/Delete/List over
+// content-addressed blobs, plus atomic named-metadata persistence). Two
+// implementations ship today — the loose-objects+packfile filesystem store
+// (OpenObjectStore) and a concurrency-safe in-memory store (NewMemStore)
+// for serving replicas and tests:
+//
+//	r, _ := versiondb.InitRepoBackend(versiondb.NewMemStore())
+//	r.EnableCache(64) // LRU of materialized versions
+//
+// Checkout cost is the paper's recreation cost Φ; EnableCache bounds the
+// effective Φ on the hot path with an LRU of materialized versions, so a
+// repeat checkout (or one whose chain passes a cached ancestor) skips
+// delta replay partially or entirely. A Repo is a multi-reader service:
+// checkouts, logs and stats proceed in parallel under a read lock while
+// commits, merges and optimizations serialize behind the write lock; the
+// HTTP server (internal/vcs) delegates concurrency control to the Repo.
 package versiondb
 
 import (
 	"versiondb/internal/costs"
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
+	"versiondb/internal/store"
 	"versiondb/internal/workload"
 )
 
@@ -140,6 +161,30 @@ const (
 // NewOnline returns an empty online store.
 func NewOnline(opts OnlineOptions) *Online { return solve.NewOnline(opts) }
 
+// Backend is the pluggable content-addressed blob store beneath every
+// repository and layout.
+type Backend = store.Backend
+
+// MetaStore persists small named metadata documents atomically; both
+// shipped backends implement it.
+type MetaStore = store.MetaStore
+
+// ObjectStore is the filesystem backend (loose objects + packfiles).
+type ObjectStore = store.ObjectStore
+
+// MemStore is the concurrency-safe in-memory backend.
+type MemStore = store.MemStore
+
+// VersionCache is the bounded LRU of materialized versions used on the
+// checkout path.
+type VersionCache = store.VersionCache
+
+// NewMemStore returns an empty in-memory backend.
+func NewMemStore() *MemStore { return store.NewMemStore() }
+
+// OpenObjectStore creates (if needed) and opens a filesystem backend.
+func OpenObjectStore(dir string) (*ObjectStore, error) { return store.Open(dir) }
+
 // Repo is the prototype dataset version management system.
 type Repo = repo.Repo
 
@@ -156,11 +201,18 @@ const (
 	MaxRecreationObjective = repo.MaxRecreationObjective
 )
 
-// InitRepo creates a repository at dir.
+// InitRepo creates a filesystem-backed repository at dir.
 func InitRepo(dir string) (*Repo, error) { return repo.Init(dir) }
 
-// OpenRepo opens an existing repository.
+// OpenRepo opens an existing filesystem-backed repository.
 func OpenRepo(dir string) (*Repo, error) { return repo.Open(dir) }
+
+// InitRepoBackend creates a repository over an arbitrary backend (which
+// must also implement MetaStore).
+func InitRepoBackend(b Backend) (*Repo, error) { return repo.InitBackend(b) }
+
+// OpenRepoBackend opens an existing repository from an arbitrary backend.
+func OpenRepoBackend(b Backend) (*Repo, error) { return repo.OpenBackend(b) }
 
 // Preset names the paper's evaluation datasets (DC, LC, BF, LF).
 type Preset = workload.Preset

@@ -12,6 +12,7 @@ package versiondb_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -281,6 +282,54 @@ func BenchmarkGitH500(b *testing.B) {
 		if _, err := solve.GitH(inst, solve.GitHOptions{Window: 10, MaxDepth: 50}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSolverRegistry sweeps every registered solver through the
+// unified Solve API on a mid-size LC workload, so the perf trajectory
+// captures per-solver cost uniformly (and catches regressions introduced by
+// registry dispatch itself). The exact solver runs under a node cap — the
+// point is dispatch + search cost at fixed work, not optimality.
+func BenchmarkSolverRegistry(b *testing.B) {
+	m, err := workload.Build(workload.LC, 300, true, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := solve.NewInstance(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	mst, err := solve.Solve(ctx, inst, solve.Request{Solver: "mst"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, info := range solve.Solvers() {
+		req := solve.Request{Solver: info.Name}
+		switch info.Knob {
+		case solve.KnobBudget:
+			req.Budget = mst.Storage * 1.5
+		case solve.KnobThetaMax:
+			req.Theta = mst.MaxR
+		case solve.KnobThetaSum:
+			req.Theta = mst.SumR
+		case solve.KnobAlpha:
+			req.Alpha = 2
+		}
+		if info.Name == "exact" {
+			req.MaxNodes = 100_000
+		}
+		b.Run(info.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := solve.Solve(ctx, inst, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Storage/mst.Storage, "storage/minΔ")
+				}
+			}
+		})
 	}
 }
 

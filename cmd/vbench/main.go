@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	vbench -exp fig12|fig13|fig14|fig15|fig16|fig17|table2|svn-git|all \
+//	vbench -exp solvers|fig12|fig13|fig14|fig15|fig16|fig17|table2|svn-git|all \
 //	       [-scale full|test] [-seed N] [-points K]
+//
+// The solvers experiment prints the live solver registry (name → paper
+// problem → constraint); the tradeoff figures iterate that registry rather
+// than a hand-maintained algorithm list.
 package main
 
 import (
@@ -19,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, fig16, fig17, table2, svn-git, physical, all")
+	exp := flag.String("exp", "all", "experiment: solvers, fig12, fig13, fig14, fig15, fig16, fig17, table2, svn-git, physical, all")
 	scaleName := flag.String("scale", "full", "dataset scale: full or test")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	points := flag.Int("points", 0, "points per tradeoff curve (0 = default)")
@@ -64,6 +68,8 @@ func run(exp string, scale bench.Scale, csvDir string) error {
 	out := os.Stdout
 	runOne := func(name string) error {
 		switch name {
+		case "solvers":
+			bench.FormatSolvers(out)
 		case "fig12":
 			rows, err := bench.Fig12(scale)
 			if err != nil {
@@ -172,7 +178,7 @@ func run(exp string, scale bench.Scale, csvDir string) error {
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "svn-git", "physical"} {
+		for _, name := range []string{"solvers", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "svn-git", "physical"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -11,8 +11,17 @@
 //	vms -dir D checkout -v N [-out F]
 //	vms -dir D log
 //	vms -dir D stats
-//	vms -dir D optimize -objective min-storage|sum-recreation|max-recreation \
-//	                    [-budget-factor X] [-theta T] [-hops K] [-compress]
+//	vms solvers
+//	vms -dir D optimize -solver mst|spt|lmg|mp|last|gith|exact|p4|p5 \
+//	                    [-budget B] [-budget-factor X] [-theta T] [-alpha A] \
+//	                    [-iters N] [-hops K] [-compress]
+//
+// optimize dispatches through the unified solver registry; `vms solvers`
+// lists every registered solver with its paper problem and constraint. The
+// legacy -objective names (min-storage, sum-recreation, max-recreation)
+// remain accepted when -solver is not given. A local optimize honors
+// Ctrl-C: interrupting a long solve cancels it cleanly instead of killing
+// the process mid-rewrite.
 //
 // Replace -dir D with -server URL to run against a vmsd instance. The
 // global -cache N flag bounds the local checkout LRU (0 disables); -backend
@@ -21,12 +30,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
+	"versiondb/internal/bench"
 	"versiondb/internal/repo"
+	"versiondb/internal/solve"
 	"versiondb/internal/store"
 	"versiondb/internal/vcs"
 )
@@ -49,9 +63,13 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand (init, commit, merge, branch, checkout, log, stats, optimize)")
+		return fmt.Errorf("missing subcommand (init, commit, merge, branch, checkout, log, stats, solvers, optimize)")
 	}
 	cmd, rest := rest[0], rest[1:]
+	if cmd == "solvers" {
+		bench.FormatSolvers(os.Stdout)
+		return nil
+	}
 	if *server != "" {
 		return runRemote(vcs.NewClient(*server), cmd, rest)
 	}
@@ -155,32 +173,37 @@ func runLocal(dir, backend string, cache int, cmd string, args []string) error {
 		fmt.Printf("logical bytes:  %d\n", st.LogicalBytes)
 		fmt.Printf("max chain hops: %d\n", st.MaxChainHops)
 	case "optimize":
-		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
-		objective := fs.String("objective", "sum-recreation", "min-storage, sum-recreation or max-recreation")
-		bf := fs.Float64("budget-factor", 1.25, "LMG budget as a multiple of MCA storage")
-		theta := fs.Float64("theta", 0, "max recreation bound for max-recreation")
-		hops := fs.Int("hops", 5, "delta revelation radius")
-		compress := fs.Bool("compress", false, "compress stored blobs")
-		if err := fs.Parse(args); err != nil {
-			return err
-		}
-		opts := repo.OptimizeOptions{BudgetFactor: *bf, Theta: *theta, RevealHops: *hops, Compress: *compress}
-		switch *objective {
-		case "min-storage":
-			opts.Objective = repo.MinStorageObjective
-		case "sum-recreation":
-			opts.Objective = repo.SumRecreationObjective
-		case "max-recreation":
-			opts.Objective = repo.MaxRecreationObjective
-		default:
-			return fmt.Errorf("unknown objective %q", *objective)
-		}
-		sol, err := r.Optimize(opts)
+		wire, err := parseOptimizeFlags(args)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("optimized with %s: storage=%.0f ΣR=%.0f maxR=%.0f\n",
-			sol.Algorithm, sol.Storage, sol.SumR, sol.MaxR)
+		solver := wire.Solver
+		if solver == "" {
+			if solver, err = repo.ObjectiveSolverName(wire.Objective); err != nil {
+				return err
+			}
+		}
+		opts := repo.OptimizeOptions{
+			Request: solve.Request{
+				Solver: solver,
+				Budget: wire.Budget,
+				Theta:  wire.Theta,
+				Alpha:  wire.Alpha,
+				Iters:  wire.Iters,
+			},
+			BudgetFactor: wire.BudgetFactor,
+			RevealHops:   wire.RevealHops,
+			Compress:     wire.Compress,
+		}
+		// Ctrl-C cancels the solve instead of killing the process mid-way.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err := r.Optimize(ctx, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized with %s (%s): storage=%.0f ΣR=%.0f maxR=%.0f\n",
+			res.Solver, res.Algorithm, res.Storage, res.SumR, res.MaxR)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -250,28 +273,49 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 		fmt.Printf("versions=%d branches=%d materialized=%d stored=%d logical=%d maxChain=%d\n",
 			st.Versions, st.Branches, st.Materialized, st.StoredBytes, st.LogicalBytes, st.MaxChainHops)
 	case "optimize":
-		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
-		objective := fs.String("objective", "sum-recreation", "min-storage, sum-recreation or max-recreation")
-		bf := fs.Float64("budget-factor", 1.25, "LMG budget multiple of MCA storage")
-		theta := fs.Float64("theta", 0, "max recreation bound")
-		hops := fs.Int("hops", 5, "delta revelation radius")
-		compress := fs.Bool("compress", false, "compress stored blobs")
-		if err := fs.Parse(args); err != nil {
-			return err
-		}
-		resp, err := c.Optimize(vcs.OptimizeRequest{
-			Objective: *objective, BudgetFactor: *bf, Theta: *theta,
-			RevealHops: *hops, Compress: *compress,
-		})
+		wire, err := parseOptimizeFlags(args)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("optimized with %s: storage=%.0f ΣR=%.0f maxR=%.0f stored=%d\n",
-			resp.Algorithm, resp.Storage, resp.SumR, resp.MaxR, resp.StoredBytes)
+		if wire.Solver == "" {
+			// Validate client-side for a friendly message; the server would
+			// answer 400 anyway.
+			if _, err := repo.ObjectiveSolverName(wire.Objective); err != nil {
+				return err
+			}
+		}
+		resp, err := c.Optimize(wire)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized with %s (%s): storage=%.0f ΣR=%.0f maxR=%.0f stored=%d\n",
+			resp.Solver, resp.Algorithm, resp.Storage, resp.SumR, resp.MaxR, resp.StoredBytes)
 	default:
 		return fmt.Errorf("unknown subcommand %q (remote)", cmd)
 	}
 	return nil
+}
+
+// parseOptimizeFlags parses the shared optimize flag set into the wire
+// request both the local and remote paths consume.
+func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, error) {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	solver := fs.String("solver", "", "registry solver name (see `vms solvers`); overrides -objective")
+	objective := fs.String("objective", "sum-recreation", "legacy selector: min-storage, sum-recreation or max-recreation")
+	budget := fs.Float64("budget", 0, "storage budget β (lmg, p4); 0 derives from -budget-factor")
+	bf := fs.Float64("budget-factor", 1.25, "default budget as a multiple of minimum storage")
+	theta := fs.Float64("theta", 0, "recreation bound θ (mp/exact: max Φ, p5: Σ Φ)")
+	alpha := fs.Float64("alpha", 0, "LAST stretch bound α (> 1)")
+	iters := fs.Int("iters", 0, "binary-search iterations for p4/p5 (0 = 40)")
+	hops := fs.Int("hops", 5, "delta revelation radius")
+	compress := fs.Bool("compress", false, "compress stored blobs")
+	if err := fs.Parse(args); err != nil {
+		return vcs.OptimizeRequest{}, err
+	}
+	return vcs.OptimizeRequest{
+		Solver: *solver, Objective: *objective, Budget: *budget, BudgetFactor: *bf,
+		Theta: *theta, Alpha: *alpha, Iters: *iters, RevealHops: *hops, Compress: *compress,
+	}, nil
 }
 
 func printLog(versions []repo.VersionInfo) {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"versiondb/internal/repo"
+	"versiondb/internal/solve"
 	"versiondb/internal/vcs"
 )
 
@@ -36,6 +37,9 @@ func TestCLILocalWorkflow(t *testing.T) {
 		{"-dir", dir, "log"},
 		{"-dir", dir, "stats"},
 		{"-dir", dir, "optimize", "-objective", "sum-recreation", "-hops", "3"},
+		{"-dir", dir, "optimize", "-solver", "p4", "-hops", "3"},
+		{"-dir", dir, "optimize", "-solver", "mp", "-hops", "3"},
+		{"solvers"},
 		{"-dir", dir, "checkout", "-v", "1", "-out", out},
 		{"-dir", dir, "repack"},
 		{"-dir", dir, "checkout", "-v", "2", "-out", out},
@@ -73,6 +77,31 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"-dir", dir, "optimize", "-objective", "bogus"}); err == nil {
 		t.Errorf("bogus objective accepted")
+	}
+	if err := run([]string{"-dir", dir, "optimize", "-solver", "simplex"}); err == nil {
+		t.Errorf("bogus solver accepted")
+	}
+}
+
+// TestCLISolverRoster drives every registered solver end to end through the
+// local optimize path — the acceptance criterion that each is reachable via
+// `vms optimize -solver <name>`.
+func TestCLISolverRoster(t *testing.T) {
+	dir := t.TempDir()
+	work := t.TempDir()
+	if err := run([]string{"-dir", dir, "init"}); err != nil {
+		t.Fatal(err)
+	}
+	for i, body := range []string{"a,b\n1,2\n", "a,b\n1,2\n3,4\n", "a,b\n1,2\n3,4\n5,6\n", "a,b\n1,9\n3,4\n5,6\n"} {
+		f := writeCSV(t, work, "v.csv", body)
+		if err := run([]string{"-dir", dir, "commit", "-file", f, "-m", "c"}); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	for _, name := range solve.Names() {
+		if err := run([]string{"-dir", dir, "optimize", "-solver", name, "-hops", "3"}); err != nil {
+			t.Errorf("optimize -solver %s: %v", name, err)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -86,9 +87,10 @@ func main() {
 	fmt.Printf("before optimize: %d versions, stored=%d bytes (logical %d), max chain=%d\n",
 		before.Versions, before.StoredBytes, before.LogicalBytes, before.MaxChainHops)
 
-	// Globally optimize: LMG with a 1.25× storage budget over the minimum.
-	sol, err := r.Optimize(versiondb.OptimizeOptions{
-		Objective:    versiondb.SumRecreationObjective,
+	// Globally optimize: LMG with a 1.25× storage budget over the minimum,
+	// dispatched by registry name through the unified solver API.
+	sol, err := r.Optimize(context.Background(), versiondb.OptimizeOptions{
+		Request:      versiondb.Request{Solver: "lmg"},
 		BudgetFactor: 1.25,
 		RevealHops:   6,
 		Compress:     true,

@@ -3,11 +3,15 @@
 // Some versions can be recreated by re-running a small derivation script —
 // a delta whose storage cost Δ is tiny but whose recreation cost Φ is the
 // script's runtime, the directed Φ ≠ Δ regime of Table 1's last column.
-// The pipeline has a retrieval SLA, so storage is minimized with MP under
-// a bound on the maximum recreation cost (Problem 6).
+// The pipeline has a retrieval SLA, so storage is minimized with the "mp"
+// solver under a bound on the maximum recreation cost (Problem 6), driven
+// through the unified Solve API: infeasible SLAs surface as ErrInfeasible
+// rather than ad-hoc error strings.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -47,8 +51,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	minStorage, err := versiondb.MinStorage(inst)
+	minStorage, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "mst"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,10 +62,12 @@ func main() {
 
 	// SLA: any intermediate dataset must be recreatable within 1800 units.
 	for _, sla := range []float64{4000, 2500, 1800, 1200} {
-		sol, err := versiondb.MP(inst, sla)
-		if err != nil {
-			fmt.Printf("SLA θ=%4.0f: infeasible (%v)\n", sla, err)
+		sol, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "mp", Theta: sla})
+		if errors.Is(err, versiondb.ErrInfeasible) {
+			fmt.Printf("SLA θ=%4.0f: infeasible — no placement meets it\n", sla)
 			continue
+		} else if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("SLA θ=%4.0f: MP storage=%6.0f  maxR=%6.0f  materialized=%d versions\n",
 			sla, sol.Storage, sol.MaxR, len(sol.Tree.MaterializedSet()))
@@ -68,7 +75,7 @@ func main() {
 
 	// Compare with the storage-budget view (Problem 4): what is the best
 	// worst-case latency we can buy with 1.5× the minimum storage?
-	sol4, err := versiondb.Problem4(inst, minStorage.Storage*1.5)
+	sol4, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "p4", Budget: minStorage.Storage * 1.5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,13 @@
 // Quickstart: the paper's running example (Figures 1–4) end to end.
 //
 // Builds the five-version cost matrices of Figure 2, then solves all six
-// problem variants of Table 1 and prints the storage graph each one picks.
+// problem variants of Table 1 through the unified Solve API — each problem
+// is one Request naming a registered solver — and prints the storage graph
+// each one picks.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,37 +37,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	show := func(name string, s *versiondb.Solution, err error) {
+	show := func(name string, req versiondb.Request) *versiondb.Result {
+		res, err := versiondb.Solve(ctx, inst, req)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("%-34s storage=%6.0f  ΣR=%6.0f  maxR=%6.0f  materialized=%s\n",
-			name, s.Storage, s.SumR, s.MaxR, describe(s))
+			name, res.Storage, res.SumR, res.MaxR, describe(res.Solution))
+		return res
 	}
 
 	fmt.Println("Paper running example (5 versions):")
-	s1, err := versiondb.MinStorage(inst)
-	show("Problem 1  MinStorage (MCA)", s1, err)
-	s2, err := versiondb.MinRecreation(inst)
-	show("Problem 2  MinRecreation (SPT)", s2, err)
+	s1 := show("Problem 1  MinStorage (MCA)", versiondb.Request{Solver: "mst"})
+	s2 := show("Problem 2  MinRecreation (SPT)", versiondb.Request{Solver: "spt"})
 	budget := s1.Storage * 1.8
-	s3, err := versiondb.LMG(inst, versiondb.LMGOptions{Budget: budget})
-	show(fmt.Sprintf("Problem 3  LMG (β=%.0f)", budget), s3, err)
-	s4, err := versiondb.Problem4(inst, budget)
-	show(fmt.Sprintf("Problem 4  MP-search (β=%.0f)", budget), s4, err)
-	s5, err := versiondb.Problem5(inst, s2.SumR*1.02)
-	show("Problem 5  LMG-search (θ=1.02·min)", s5, err)
-	s6, err := versiondb.MP(inst, 10600)
-	show("Problem 6  MP (θ=10600)", s6, err)
+	show(fmt.Sprintf("Problem 3  LMG (β=%.0f)", budget), versiondb.Request{Solver: "lmg", Budget: budget})
+	show(fmt.Sprintf("Problem 4  MP-search (β=%.0f)", budget), versiondb.Request{Solver: "p4", Budget: budget})
+	show("Problem 5  LMG-search (θ=1.02·min)", versiondb.Request{Solver: "p5", Theta: s2.SumR * 1.02})
+	show("Problem 6  MP (θ=10600)", versiondb.Request{Solver: "mp", Theta: 10600})
 
-	// The exact reference solver agrees with MP here.
-	ex, err := versiondb.Exact(inst, 10600, versiondb.ExactOptions{})
+	// The exact reference solver agrees with MP here; the Result carries
+	// its optimality metadata.
+	ex, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "exact", Theta: 10600})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-34s storage=%6.0f  (optimal=%v, %d nodes)\n",
-		"Exact B&B   (θ=10600)", ex.Solution.Storage, ex.Optimal, ex.Nodes)
+		"Exact B&B   (θ=10600)", ex.Storage, ex.Optimal, ex.Nodes)
+
+	// The registry is introspectable: every solver above plus the
+	// heuristic baselines, with their paper problems and constraints.
+	fmt.Println("\nRegistered solvers:")
+	for _, info := range versiondb.Solvers() {
+		fmt.Printf("  %-6s %-20s %-18s constraint: %s\n",
+			info.Name, info.Algorithm, info.Problem, info.Constraint)
+	}
 }
 
 // describe lists which versions a solution materializes, V1-based like the

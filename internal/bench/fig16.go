@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"versiondb/internal/solve"
@@ -24,11 +25,11 @@ func Fig16(s Scale) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		plain, err := solve.SweepLMG(d.Inst, budgets, nil)
+		plain, err := solve.SweepLMG(context.Background(), d.Inst, budgets, nil)
 		if err != nil {
 			return nil, err
 		}
-		aware, err := solve.SweepLMG(d.Inst, budgets, freq)
+		aware, err := solve.SweepLMG(context.Background(), d.Inst, budgets, freq)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"text/tabwriter"
+
+	"versiondb/internal/solve"
 )
 
 // FormatFigure renders a tradeoff figure as aligned text tables, one per
@@ -102,6 +104,20 @@ func FormatFig17(w io.Writer, rows []RuntimePoint) {
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%v\t%d\t%.4f\t%.4f\t%d\n",
 			r.Dataset, r.Directed, r.Versions, r.LMGSec, r.TotalSec, r.Repeats)
+	}
+	tw.Flush()
+}
+
+// FormatSolvers renders the live solver registry — name, algorithm, paper
+// problem, objective, and declared constraint — so tooling output always
+// matches what is actually registered.
+func FormatSolvers(w io.Writer) {
+	fmt.Fprintln(w, "== solvers: registered optimization strategies ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\talgorithm\tproblem\tobjective\tconstraint\texact")
+	for _, info := range solve.Solvers() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%v\n",
+			info.Name, info.Algorithm, info.Problem, info.Objective, info.Constraint, info.Exact)
 	}
 	tw.Flush()
 }

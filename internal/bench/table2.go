@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"versiondb/internal/solve"
@@ -40,12 +41,13 @@ func Table2(sizes []int, thetasPer int, seed int64, exact solve.ExactOptions) ([
 		if err != nil {
 			return nil, err
 		}
+		ctx := context.Background()
 		for _, th := range thetas {
-			mp, err := solve.MP(inst, th)
+			mp, err := solve.Solve(ctx, inst, solve.Request{Solver: "mp", Theta: th})
 			if err != nil {
 				continue // infeasible θ, as in the sweep helpers
 			}
-			ex, err := solve.ExactMinStorageMaxR(inst, th, exact)
+			ex, err := solve.Solve(ctx, inst, solve.Request{Solver: "exact", Theta: th, MaxNodes: exact.MaxNodes})
 			if err != nil {
 				return nil, fmt.Errorf("bench: table2 v%d θ=%g: %w", n, th, err)
 			}
@@ -53,7 +55,7 @@ func Table2(sizes []int, thetasPer int, seed int64, exact solve.ExactOptions) ([
 				Dataset:      fmt.Sprintf("v%d", n),
 				Versions:     n,
 				Theta:        th,
-				ExactStorage: ex.Solution.Storage,
+				ExactStorage: ex.Storage,
 				MPStorage:    mp.Storage,
 				ExactOptimal: ex.Optimal,
 				Nodes:        ex.Nodes,

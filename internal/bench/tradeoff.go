@@ -1,15 +1,19 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"versiondb/internal/solve"
 	"versiondb/internal/workload"
 )
 
-// tradeoffSubplot sweeps the requested algorithms on one dataset, producing
-// the (storage, Σ recreation, max recreation) curves of Figures 13–15.
-func tradeoffSubplot(d Dataset, algs []string, points int) (Subplot, error) {
+// tradeoffSubplot sweeps the requested registry solvers on one dataset,
+// producing the (storage, Σ recreation, max recreation) curves of Figures
+// 13–15. Each solver's parameter grid comes from its declared knob via
+// solve.SweepRequests, so adding a solver to the registry adds it to the
+// figures with no bench changes.
+func tradeoffSubplot(d Dataset, solvers []string, points int) (Subplot, error) {
 	sub := Subplot{Title: d.Name}
 	mca, err := solve.MinStorage(d.Inst)
 	if err != nil {
@@ -22,56 +26,23 @@ func tradeoffSubplot(d Dataset, algs []string, points int) (Subplot, error) {
 	sub.MinStorage = mca.Storage
 	sub.MinSumR = spt.SumR
 	sub.MinMaxR = spt.MaxR
-	for _, alg := range algs {
-		var sols []*solve.Solution
-		switch alg {
-		case "LMG":
-			budgets, err := solve.Budgets(d.Inst, points)
-			if err != nil {
-				return sub, err
-			}
-			if sols, err = solve.SweepLMG(d.Inst, budgets, nil); err != nil {
-				return sub, fmt.Errorf("bench: %s LMG: %w", d.Name, err)
-			}
-		case "MP":
-			thetas, err := solve.Thetas(d.Inst, points)
-			if err != nil {
-				return sub, err
-			}
-			if sols, err = solve.SweepMP(d.Inst, thetas); err != nil {
-				return sub, fmt.Errorf("bench: %s MP: %w", d.Name, err)
-			}
-		case "LAST":
-			alphas := interpolate(1.1, 8, points)
-			if sols, err = solve.SweepLAST(d.Inst, alphas); err != nil {
-				return sub, fmt.Errorf("bench: %s LAST: %w", d.Name, err)
-			}
-		case "GitH":
-			// The paper ran BF with windows 50/25/20/10 at depth 10 and the
-			// others with unbounded windows over the revealed deltas.
-			cfgs := []solve.GitHOptions{
-				{Window: 10, MaxDepth: 10},
-				{Window: 20, MaxDepth: 10},
-				{Window: 50, MaxDepth: 50},
-				{Window: d.Inst.M.N(), MaxDepth: 50},
-			}
-			if sols, err = solve.SweepGitH(d.Inst, cfgs[:min(points, len(cfgs))]); err != nil {
-				return sub, fmt.Errorf("bench: %s GitH: %w", d.Name, err)
-			}
-		default:
-			return sub, fmt.Errorf("bench: unknown algorithm %q", alg)
+	ctx := context.Background()
+	for _, name := range solvers {
+		info, err := solve.Describe(name)
+		if err != nil {
+			return sub, fmt.Errorf("bench: %s: %w", d.Name, err)
 		}
-		sub.Curves = append(sub.Curves, toCurve(alg, sols))
+		results, err := solve.SweepSolver(ctx, d.Inst, name, points)
+		if err != nil {
+			return sub, fmt.Errorf("bench: %s %s: %w", d.Name, name, err)
+		}
+		sols := make([]*solve.Solution, 0, len(results))
+		for _, r := range results {
+			sols = append(sols, r.Solution)
+		}
+		sub.Curves = append(sub.Curves, toCurve(info.Algorithm, sols))
 	}
 	return sub, nil
-}
-
-func interpolate(lo, hi float64, k int) []float64 {
-	out := make([]float64, k)
-	for i := range out {
-		out[i] = lo + (hi-lo)*float64(i)/float64(max(k-1, 1))
-	}
-	return out
 }
 
 // Fig13 regenerates Figure 13: directed datasets, storage cost vs the sum
@@ -84,7 +55,7 @@ func Fig13(s Scale) (*Figure, error) {
 	}
 	fig := &Figure{ID: "fig13", Title: "Directed: storage vs Σ recreation (LMG, MP, LAST, GitH)"}
 	for _, d := range datasets {
-		sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST", "GitH"}, s.SweepPoints)
+		sub, err := tradeoffSubplot(d, []string{"lmg", "mp", "last", "gith"}, s.SweepPoints)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +74,7 @@ func Fig14(s Scale) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST"}, s.SweepPoints)
+		sub, err := tradeoffSubplot(d, []string{"lmg", "mp", "last"}, s.SweepPoints)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +93,7 @@ func Fig15(s Scale) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST"}, s.SweepPoints)
+		sub, err := tradeoffSubplot(d, []string{"lmg", "mp", "last"}, s.SweepPoints)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +104,7 @@ func Fig15(s Scale) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	sub, err := tradeoffSubplot(d, []string{"LMG", "MP", "LAST"}, s.SweepPoints)
+	sub, err := tradeoffSubplot(d, []string{"lmg", "mp", "last"}, s.SweepPoints)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@
 package repo
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -400,7 +401,8 @@ func (r *Repo) Stats() Stats {
 	return st
 }
 
-// OptimizeObjective selects the algorithm used by Optimize.
+// OptimizeObjective selects the algorithm used by Optimize when no solver
+// is named explicitly; each maps to a registry name.
 type OptimizeObjective int
 
 const (
@@ -412,15 +414,52 @@ const (
 	MaxRecreationObjective
 )
 
-// OptimizeOptions configure Optimize.
+// objectiveSolver maps the legacy objective enum onto registry names.
+var objectiveSolver = map[OptimizeObjective]string{
+	MinStorageObjective:    "mst",
+	SumRecreationObjective: "lmg",
+	MaxRecreationObjective: "mp",
+}
+
+// ObjectiveSolverName maps the legacy wire objective strings
+// ("min-storage", "sum-recreation", "max-recreation"; empty means
+// "min-storage") onto registry solver names. It is the single mapping the
+// HTTP server and the CLI share; unknown strings surface
+// solve.ErrUnknownSolver.
+func ObjectiveSolverName(objective string) (string, error) {
+	switch objective {
+	case "", "min-storage":
+		return "mst", nil
+	case "sum-recreation":
+		return "lmg", nil
+	case "max-recreation":
+		return "mp", nil
+	default:
+		return "", fmt.Errorf("repo: unknown objective %q: %w", objective, solve.ErrUnknownSolver)
+	}
+}
+
+// OptimizeOptions configure Optimize. The embedded solve.Request selects
+// and parameterizes the solver; the remaining fields control cost-matrix
+// construction, physical rewriting, and knob defaulting.
 type OptimizeOptions struct {
+	// Request names the registry solver ("mst", "lmg", "mp", "p4", ...)
+	// and carries its knobs. An empty Request.Solver falls back to the
+	// legacy Objective enum. Unset knobs the named solver requires are
+	// defaulted from the repository's own cost envelope (see Optimize).
+	Request solve.Request
+	// Objective is the legacy algorithm selector, honored only when
+	// Request.Solver is empty.
 	Objective OptimizeObjective
-	// BudgetFactor multiplies the MCA storage cost to produce the LMG
-	// budget (Problem 3); the paper's headline finding is that ~1.1× the
-	// minimum collapses recreation cost. Default 1.25.
+	// BudgetFactor multiplies the MCA storage cost to produce a default
+	// budget for budget-constrained solvers when Request.Budget is unset;
+	// the paper's headline finding is that ~1.1× the minimum collapses
+	// recreation cost. Default 1.25.
 	BudgetFactor float64
-	// Theta is the max-recreation bound for MaxRecreationObjective; 0 means
-	// twice the largest version size.
+	// Theta is the legacy recreation bound, folded into Request.Theta when
+	// that is unset.
+	//
+	// Deprecated: set Request.Theta.
 	Theta float64
 	// RevealHops bounds the pairwise differencing radius. Default 5.
 	RevealHops int
@@ -428,20 +467,92 @@ type OptimizeOptions struct {
 	Compress bool
 }
 
+// solveRequest resolves opts into a fully-parameterized solve.Request
+// against inst, defaulting any required knob the caller left unset: budgets
+// from BudgetFactor × minimum storage, max-Φ bounds from twice the largest
+// version size, Σ-Φ bounds from 1.25× the SPT minimum, α from 2. Unknown
+// solver names (or objective values) surface solve.ErrUnknownSolver.
+func (r *Repo) solveRequest(inst *solve.Instance, opts OptimizeOptions) (solve.Request, error) {
+	req := opts.Request
+	if req.Theta <= 0 {
+		req.Theta = opts.Theta
+	}
+	if req.Solver == "" {
+		name, ok := objectiveSolver[opts.Objective]
+		if !ok {
+			return req, fmt.Errorf("repo: optimize: objective %d: %w", opts.Objective, solve.ErrUnknownSolver)
+		}
+		req.Solver = name
+	}
+	info, err := solve.Describe(req.Solver)
+	if err != nil {
+		return req, fmt.Errorf("repo: optimize: %w", err)
+	}
+	switch info.Knob {
+	case solve.KnobBudget:
+		if req.Budget <= 0 {
+			mca, err := solve.MinStorage(inst)
+			if err != nil {
+				return req, err
+			}
+			f := opts.BudgetFactor
+			if f <= 1 {
+				f = 1.25
+			}
+			req.Budget = mca.Storage * f
+		}
+	case solve.KnobThetaMax:
+		if req.Theta <= 0 {
+			var maxSize float64
+			for _, v := range r.meta.Versions {
+				if s := float64(v.Size); s > maxSize {
+					maxSize = s
+				}
+			}
+			req.Theta = 2 * maxSize
+		}
+	case solve.KnobThetaSum:
+		if req.Theta <= 0 {
+			spt, err := solve.MinRecreation(inst)
+			if err != nil {
+				return req, err
+			}
+			req.Theta = spt.SumR * 1.25
+		}
+	case solve.KnobAlpha:
+		if req.Alpha <= 1 {
+			req.Alpha = 2
+		}
+	}
+	return req, nil
+}
+
 // Optimize recomputes the global storage layout: it checks out every
 // version, differences versions within the hop radius, builds the augmented
-// graph, runs the selected algorithm, and rewrites the physical layout
-// accordingly. It returns the solution chosen. Readers are blocked for the
-// duration; the checkout cache restarts empty at the same capacity.
-func (r *Repo) Optimize(opts OptimizeOptions) (*solve.Solution, error) {
+// graph, dispatches the resolved solve.Request through the solver registry,
+// and rewrites the physical layout accordingly. It returns the solution
+// chosen (a solve.Result carrying the registry solver name and optimality
+// metadata). Readers are blocked for the duration; the checkout cache
+// restarts empty at the same capacity. Canceling ctx aborts the solve (the
+// layout is left untouched) with solve.ErrCanceled.
+func (r *Repo) Optimize(ctx context.Context, opts OptimizeOptions) (*solve.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := len(r.meta.Versions)
 	if n == 0 {
 		return nil, fmt.Errorf("repo: optimize: %w", ErrEmptyRepo)
 	}
+	// The checkout and pairwise-differencing phases below dominate large
+	// optimizes, so cancellation is checked throughout — not only inside
+	// the solver — to release the write lock promptly.
 	payloads := make([][]byte, n)
 	for v := 0; v < n; v++ {
+		if err := ctx.Err(); err != nil {
+			return nil, optimizeCanceled(err)
+		}
 		var err error
 		if payloads[v], err = r.checkoutLocked(v); err != nil {
 			return nil, err
@@ -451,7 +562,7 @@ func (r *Repo) Optimize(opts OptimizeOptions) (*solve.Solution, error) {
 	if hops <= 0 {
 		hops = 5
 	}
-	m, err := r.costMatrix(payloads, hops)
+	m, err := r.costMatrix(ctx, payloads, hops)
 	if err != nil {
 		return nil, err
 	}
@@ -459,50 +570,33 @@ func (r *Repo) Optimize(opts OptimizeOptions) (*solve.Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	var sol *solve.Solution
-	switch opts.Objective {
-	case MinStorageObjective:
-		sol, err = solve.MinStorage(inst)
-	case SumRecreationObjective:
-		mca, merr := solve.MinStorage(inst)
-		if merr != nil {
-			return nil, merr
-		}
-		f := opts.BudgetFactor
-		if f <= 1 {
-			f = 1.25
-		}
-		sol, err = solve.LMG(inst, solve.LMGOptions{Budget: mca.Storage * f})
-	case MaxRecreationObjective:
-		th := opts.Theta
-		if th <= 0 {
-			var maxSize float64
-			for _, v := range r.meta.Versions {
-				if s := float64(v.Size); s > maxSize {
-					maxSize = s
-				}
-			}
-			th = 2 * maxSize
-		}
-		sol, err = solve.MP(inst, th)
-	default:
-		return nil, fmt.Errorf("repo: optimize: unknown objective %d", opts.Objective)
-	}
+	req, err := r.solveRequest(inst, opts)
 	if err != nil {
 		return nil, err
 	}
-	newLayout, err := store.BuildLayout(r.backend, payloads, sol.Tree, opts.Compress)
+	res, err := solve.Solve(ctx, inst, req)
+	if err != nil {
+		return nil, err
+	}
+	newLayout, err := store.BuildLayout(r.backend, payloads, res.Tree, opts.Compress)
 	if err != nil {
 		return nil, err
 	}
 	newLayout.SetCache(store.NewVersionCache(r.cacheSize))
 	r.layout = newLayout
-	return sol, r.save()
+	return res, r.save()
+}
+
+// optimizeCanceled normalizes a context cancellation during Optimize's own
+// phases onto the solver sentinel.
+func optimizeCanceled(cause error) error {
+	return fmt.Errorf("repo: optimize: %w: %v", solve.ErrCanceled, cause)
 }
 
 // costMatrix differences all versions within the hop radius of the version
-// graph, producing directed one-way delta costs.
-func (r *Repo) costMatrix(payloads [][]byte, hops int) (*costs.Matrix, error) {
+// graph, producing directed one-way delta costs; ctx is checked once per
+// source version.
+func (r *Repo) costMatrix(ctx context.Context, payloads [][]byte, hops int) (*costs.Matrix, error) {
 	n := len(payloads)
 	m := costs.NewMatrix(n, true)
 	for v := 0; v < n; v++ {
@@ -520,6 +614,9 @@ func (r *Repo) costMatrix(payloads [][]byte, hops int) (*costs.Matrix, error) {
 		dist[i] = -1
 	}
 	for s := 0; s < n; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, optimizeCanceled(err)
+		}
 		queue := []int{s}
 		dist[s] = 0
 		touched := []int{s}

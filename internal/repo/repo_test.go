@@ -2,12 +2,14 @@ package repo
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"versiondb/internal/dataset"
+	"versiondb/internal/solve"
 	"versiondb/internal/store"
 )
 
@@ -251,7 +253,7 @@ func TestSentinelErrors(t *testing.T) {
 		t.Errorf("Merge of own tip err = %v, want ErrInvalidMerge", err)
 	}
 	empty := newRepo(t)
-	if _, err := empty.Optimize(OptimizeOptions{}); !errors.Is(err, ErrEmptyRepo) {
+	if _, err := empty.Optimize(context.Background(), OptimizeOptions{}); !errors.Is(err, ErrEmptyRepo) {
 		t.Errorf("Optimize on empty err = %v, want ErrEmptyRepo", err)
 	}
 }
@@ -270,7 +272,7 @@ func TestCacheSurvivesOptimize(t *testing.T) {
 	if hits == 0 {
 		t.Fatalf("no cache hit before optimize")
 	}
-	if _, err := r.Optimize(OptimizeOptions{Objective: MinStorageObjective, RevealHops: 4}); err != nil {
+	if _, err := r.Optimize(context.Background(), OptimizeOptions{Objective: MinStorageObjective, RevealHops: 4}); err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
 	// The rebuilt layout starts with a fresh cache of the same capacity:
@@ -347,7 +349,7 @@ func TestOptimizeObjectivesPreserveContent(t *testing.T) {
 	for i, tc := range objectives {
 		t.Run(tc.name, func(t *testing.T) {
 			r, payloads := buildBranchyRepo(t, int64(i))
-			sol, err := r.Optimize(tc.opts)
+			sol, err := r.Optimize(context.Background(), tc.opts)
 			if err != nil {
 				t.Fatalf("Optimize: %v", err)
 			}
@@ -373,7 +375,7 @@ func TestOptimizeReducesStorage(t *testing.T) {
 	for _, p := range payloads {
 		logical += int64(len(p))
 	}
-	if _, err := r.Optimize(OptimizeOptions{Objective: MinStorageObjective, RevealHops: 6}); err != nil {
+	if _, err := r.Optimize(context.Background(), OptimizeOptions{Objective: MinStorageObjective, RevealHops: 6}); err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
 	st := r.Stats()
@@ -390,8 +392,84 @@ func TestOptimizeReducesStorage(t *testing.T) {
 
 func TestOptimizeEmptyRepo(t *testing.T) {
 	r := newRepo(t)
-	if _, err := r.Optimize(OptimizeOptions{}); err == nil {
+	if _, err := r.Optimize(context.Background(), OptimizeOptions{}); err == nil {
 		t.Errorf("Optimize on empty repo succeeded")
+	}
+}
+
+// TestOptimizeUnknownSolver pins the normalized sentinel: both a bogus
+// registry name and an out-of-range legacy objective surface
+// solve.ErrUnknownSolver, which the HTTP layer maps to 400.
+func TestOptimizeUnknownSolver(t *testing.T) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := r.Commit(DefaultBranch, csvPayload(t, rng, 30), "v0"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := r.Optimize(ctx, OptimizeOptions{Request: solve.Request{Solver: "simplex"}}); !errors.Is(err, solve.ErrUnknownSolver) {
+		t.Errorf("bogus solver err = %v, want solve.ErrUnknownSolver", err)
+	}
+	if _, err := r.Optimize(ctx, OptimizeOptions{Objective: OptimizeObjective(99)}); !errors.Is(err, solve.ErrUnknownSolver) {
+		t.Errorf("bogus objective err = %v, want solve.ErrUnknownSolver", err)
+	}
+}
+
+// TestOptimizeBySolverName drives Optimize through registry names the
+// legacy objective enum cannot reach, and checks content survives.
+func TestOptimizeBySolverName(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, name := range []string{"p4", "p5", "last", "gith", "spt"} {
+		t.Run(name, func(t *testing.T) {
+			r := newRepo(t)
+			var payloads [][]byte
+			for i := 0; i < 6; i++ {
+				p := csvPayload(t, rng, 40+i)
+				payloads = append(payloads, p)
+				if _, err := r.Commit(DefaultBranch, p, fmt.Sprintf("v%d", i)); err != nil {
+					t.Fatalf("Commit: %v", err)
+				}
+			}
+			sol, err := r.Optimize(context.Background(), OptimizeOptions{
+				Request:    solve.Request{Solver: name},
+				RevealHops: 4,
+			})
+			if err != nil {
+				t.Fatalf("Optimize(%s): %v", name, err)
+			}
+			if sol == nil || sol.Tree == nil {
+				t.Fatalf("Optimize(%s): nil solution", name)
+			}
+			for v, want := range payloads {
+				got, err := r.Checkout(v)
+				if err != nil {
+					t.Fatalf("Checkout(%d): %v", v, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("version %d corrupted by optimize with %s", v, name)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizeCanceled verifies a pre-canceled context aborts the solve
+// with solve.ErrCanceled and leaves the layout serving correct bytes.
+func TestOptimizeCanceled(t *testing.T) {
+	r := newRepo(t)
+	rng := rand.New(rand.NewSource(7))
+	want := csvPayload(t, rng, 50)
+	if _, err := r.Commit(DefaultBranch, want, "v0"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Optimize(ctx, OptimizeOptions{Objective: SumRecreationObjective}); !errors.Is(err, solve.ErrCanceled) {
+		t.Errorf("canceled Optimize err = %v, want solve.ErrCanceled", err)
+	}
+	got, err := r.Checkout(0)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Errorf("layout damaged by canceled optimize: %v", err)
 	}
 }
 

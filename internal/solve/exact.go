@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -37,7 +38,23 @@ type ExactResult struct {
 // recreation lower bound along partially assigned chains (unassigned
 // ancestors bounded by their Φ shortest-path distance); (c) incremental
 // cycle rejection.
+//
+// ExactMinStorageMaxR is a compatibility wrapper over the registry path;
+// prefer Solve(ctx, inst, Request{Solver: "exact", Theta: ...}), which is
+// cancellable.
 func ExactMinStorageMaxR(inst *Instance, theta float64, opts ExactOptions) (*ExactResult, error) {
+	return exactRun(context.Background(), inst, theta, opts)
+}
+
+// ctxCheckInterval is how many branch-and-bound nodes exactRun expands
+// between context checks — frequent enough to abort within microseconds,
+// rare enough to stay off the profile.
+const ctxCheckInterval = 4096
+
+// exactRun is the cancellable branch-and-bound implementation backing both
+// ExactMinStorageMaxR and the registered "exact" solver. Cancellation
+// abandons the search (including any incumbent) and returns ErrCanceled.
+func exactRun(ctx context.Context, inst *Instance, theta float64, opts ExactOptions) (*ExactResult, error) {
 	start := time.Now()
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
@@ -55,7 +72,7 @@ func ExactMinStorageMaxR(inst *Instance, theta float64, opts ExactOptions) (*Exa
 	}
 	for v := 1; v < n; v++ {
 		if sp[v] > thetaTol {
-			return nil, fmt.Errorf("solve: exact: θ=%g infeasible, version vertex %d needs ≥ %g", theta, v, sp[v])
+			return nil, fmt.Errorf("solve: exact: θ=%g, version vertex %d needs ≥ %g: %w", theta, v, sp[v], ErrInfeasible)
 		}
 	}
 	// Candidate in-edges per vertex, cheapest storage first, filtered by the
@@ -71,7 +88,7 @@ func ExactMinStorageMaxR(inst *Instance, theta float64, opts ExactOptions) (*Exa
 	minIn := make([]float64, n)
 	for v := 1; v < n; v++ {
 		if len(in[v]) == 0 {
-			return nil, fmt.Errorf("solve: exact: vertex %d has no feasible in-edge under θ=%g", v, theta)
+			return nil, fmt.Errorf("solve: exact: vertex %d has no feasible in-edge under θ=%g: %w", v, theta, ErrInfeasible)
 		}
 		sort.Slice(in[v], func(a, b int) bool { return in[v][a].Storage < in[v][b].Storage })
 		minIn[v] = in[v][0].Storage
@@ -91,7 +108,7 @@ func ExactMinStorageMaxR(inst *Instance, theta float64, opts ExactOptions) (*Exa
 	// Seed the incumbent with MP so pruning bites immediately.
 	best := graph.Inf
 	var bestTree *graph.Tree
-	if mp, err := MP(inst, theta); err == nil {
+	if mp, err := mpRun(ctx, inst, theta); err == nil {
 		best = mp.Storage
 		bestTree = mp.Tree
 	}
@@ -124,11 +141,17 @@ func ExactMinStorageMaxR(inst *Instance, theta float64, opts ExactOptions) (*Exa
 	}
 
 	var nodes int64
+	var ctxErr error
 	var rec func(k int, cost float64)
 	rec = func(k int, cost float64) {
 		nodes++
-		if nodes > maxNodes {
+		if nodes > maxNodes || ctxErr != nil {
 			return
+		}
+		if nodes%ctxCheckInterval == 0 {
+			if ctxErr = checkCtx(ctx); ctxErr != nil {
+				return
+			}
 		}
 		if k == len(order) {
 			// All parents assigned and cycle-free; verify θ exactly.
@@ -161,15 +184,18 @@ func ExactMinStorageMaxR(inst *Instance, theta float64, opts ExactOptions) (*Exa
 				rec(k+1, nc)
 			}
 			parent[v] = -1
-			if nodes > maxNodes {
+			if nodes > maxNodes || ctxErr != nil {
 				return
 			}
 		}
 	}
 	rec(0, 0)
 
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	if bestTree == nil {
-		return nil, fmt.Errorf("solve: exact: no feasible tree under θ=%g", theta)
+		return nil, fmt.Errorf("solve: exact: no feasible tree under θ=%g: %w", theta, ErrInfeasible)
 	}
 	sol := newSolution("Exact", theta, bestTree, start)
 	return &ExactResult{Solution: sol, Optimal: nodes <= maxNodes, Nodes: nodes}, nil

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -27,13 +28,22 @@ type GitHOptions struct {
 // version whole or all window candidates are at maximum depth. The window
 // is then shuffled exactly as git's ll_find_deltas does: the chosen parent
 // moves to the end (staying in the window longer).
+//
+// GitH is a compatibility wrapper over the registry path; prefer
+// Solve(ctx, inst, Request{Solver: "gith", Window: ..., MaxDepth: ...}).
 func GitH(inst *Instance, opts GitHOptions) (*Solution, error) {
+	return githRun(context.Background(), inst, opts)
+}
+
+// githRun is the cancellable GitH implementation backing both GitH and the
+// registered "gith" solver; ctx is checked once per placed version.
+func githRun(ctx context.Context, inst *Instance, opts GitHOptions) (*Solution, error) {
 	start := time.Now()
 	if opts.Window <= 0 {
-		return nil, fmt.Errorf("solve: GitH window must be positive, got %d", opts.Window)
+		return nil, fmt.Errorf("solve: GitH window must be positive, got %d: %w", opts.Window, ErrInvalidRequest)
 	}
 	if opts.MaxDepth <= 0 {
-		return nil, fmt.Errorf("solve: GitH max depth must be positive, got %d", opts.MaxDepth)
+		return nil, fmt.Errorf("solve: GitH max depth must be positive, got %d: %w", opts.MaxDepth, ErrInvalidRequest)
 	}
 	m := inst.M
 	n := m.N()
@@ -56,6 +66,9 @@ func GitH(inst *Instance, opts GitHOptions) (*Solution, error) {
 	t := graph.NewTree(n+1, Root)
 	window := make([]int, 0, opts.Window)
 	for k, vi := range order {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		full, _ := m.Full(vi)
 		if k == 0 {
 			t.SetEdge(graph.Edge{From: Root, To: vi + 1, Storage: full.Storage, Recreate: full.Recreate})

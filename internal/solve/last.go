@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,10 +19,20 @@ import (
 // every root path within α of the shortest path and total weight within
 // (1 + 2/(α−1)) of the MST. For directed instances it applies without
 // guarantees, exactly as the paper does. alpha must exceed 1.
+//
+// LAST is a compatibility wrapper over the registry path; prefer
+// Solve(ctx, inst, Request{Solver: "last", Alpha: ...}).
 func LAST(inst *Instance, alpha float64) (*Solution, error) {
+	return lastRun(context.Background(), inst, alpha)
+}
+
+// lastRun is the cancellable LAST implementation backing both LAST and the
+// registered "last" solver; ctx is checked per DFS vertex and per cycle
+// repair.
+func lastRun(ctx context.Context, inst *Instance, alpha float64) (*Solution, error) {
 	start := time.Now()
 	if alpha <= 1 {
-		return nil, fmt.Errorf("solve: LAST requires α > 1, got %g", alpha)
+		return nil, fmt.Errorf("solve: LAST requires α > 1, got %g: %w", alpha, ErrInvalidRequest)
 	}
 	mst, err := MinStorage(inst)
 	if err != nil {
@@ -72,8 +83,15 @@ func LAST(inst *Instance, alpha float64) (*Solution, error) {
 	// relaxes the reverse edge when the graph has one (the "back-edge"
 	// traversal of the paper's Example 6).
 	ch := mst.Tree.Children()
+	var ctxErr error
 	var dfs func(v int)
 	dfs = func(v int) {
+		if ctxErr != nil {
+			return
+		}
+		if ctxErr = checkCtx(ctx); ctxErr != nil {
+			return
+		}
 		for _, c := range ch[v] {
 			relax(mst.Tree.EdgeTo(c))
 			if d[c] > alpha*sp[c] {
@@ -86,6 +104,9 @@ func LAST(inst *Instance, alpha float64) (*Solution, error) {
 		}
 	}
 	dfs(Root)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 
 	t := graph.NewTree(n, Root)
 	for v := 0; v < n; v++ {
@@ -103,6 +124,9 @@ func LAST(inst *Instance, alpha float64) (*Solution, error) {
 	// parent; each repair converts one vertex permanently, so this
 	// terminates, and the SPT itself is acyclic.
 	for iter := 0; t.Validate() != nil; iter++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		if iter > n {
 			return nil, fmt.Errorf("solve: LAST could not repair cycles")
 		}

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -36,7 +37,17 @@ type LMGOptions struct {
 //
 // while the storage budget holds. It addresses Problem 3 directly and
 // Problem 5 via MinStorageSumR's binary search.
+//
+// LMG is a compatibility wrapper over the registry path; prefer
+// Solve(ctx, inst, Request{Solver: "lmg", Budget: ...}), which is
+// cancellable.
 func LMG(inst *Instance, opts LMGOptions) (*Solution, error) {
+	return lmgRun(context.Background(), inst, opts)
+}
+
+// lmgRun is the cancellable LMG implementation backing both LMG and the
+// registered "lmg"/"p5" solvers; ctx is checked once per local move.
+func lmgRun(ctx context.Context, inst *Instance, opts LMGOptions) (*Solution, error) {
 	mst, spt := opts.MST, opts.SPT
 	var err error
 	if mst == nil {
@@ -51,17 +62,17 @@ func LMG(inst *Instance, opts LMGOptions) (*Solution, error) {
 	}
 	start := time.Now()
 	if opts.Budget < mst.Storage {
-		return nil, fmt.Errorf("solve: LMG budget %g below minimum storage %g", opts.Budget, mst.Storage)
+		return nil, fmt.Errorf("solve: LMG budget %g below minimum storage %g: %w", opts.Budget, mst.Storage, ErrInfeasible)
 	}
 	n := inst.G.N()
 	weight := make([]float64, n)
 	if opts.Freq != nil {
 		if len(opts.Freq) != inst.M.N() {
-			return nil, fmt.Errorf("solve: LMG freq length %d, want %d", len(opts.Freq), inst.M.N())
+			return nil, fmt.Errorf("solve: LMG freq length %d, want %d: %w", len(opts.Freq), inst.M.N(), ErrInvalidRequest)
 		}
 		for i, f := range opts.Freq {
 			if f < 0 {
-				return nil, fmt.Errorf("solve: LMG negative frequency %g for version %d", f, i)
+				return nil, fmt.Errorf("solve: LMG negative frequency %g for version %d: %w", f, i, ErrInvalidRequest)
 			}
 			weight[i+1] = f
 		}
@@ -77,6 +88,9 @@ func LMG(inst *Instance, opts LMGOptions) (*Solution, error) {
 	// target keeps it forever, so candidacy is simply "differs from tree".
 	used := make([]bool, n)
 	for {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		r := t.RecreationCosts()
 		agg := subtreeAggregate(t, weight, opts.NaiveSubtree)
 		tin, tout := eulerTimes(t)

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,9 +15,18 @@ import (
 // the tree may be re-parented later when a cheaper delta that does not
 // worsen its recreation cost appears.
 //
-// It returns an error when no tree satisfies the bound (θ smaller than some
-// version's cheapest attainable recreation cost).
+// It returns an error wrapping ErrInfeasible when no tree satisfies the
+// bound (θ smaller than some version's cheapest attainable recreation cost).
+//
+// MP is a compatibility wrapper over the registry path; prefer
+// Solve(ctx, inst, Request{Solver: "mp", Theta: ...}), which is cancellable.
 func MP(inst *Instance, theta float64) (*Solution, error) {
+	return mpRun(context.Background(), inst, theta)
+}
+
+// mpRun is the cancellable MP implementation backing both MP and the
+// registered "mp"/"p4" solvers; ctx is checked once per extracted vertex.
+func mpRun(ctx context.Context, inst *Instance, theta float64) (*Solution, error) {
 	start := time.Now()
 	g := inst.G
 	n := g.N()
@@ -35,6 +45,9 @@ func MP(inst *Instance, theta float64) (*Solution, error) {
 	pq.Push(Root, 0)
 	added := 0
 	for pq.Len() > 0 {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		i, _ := pq.Pop()
 		if inX[i] {
 			continue
@@ -68,7 +81,7 @@ func MP(inst *Instance, theta float64) (*Solution, error) {
 		}
 	}
 	if added != n {
-		return nil, fmt.Errorf("solve: MP: θ=%g infeasible, only %d of %d vertices attachable", theta, added, n)
+		return nil, fmt.Errorf("solve: MP: θ=%g, only %d of %d vertices attachable: %w", theta, added, n, ErrInfeasible)
 	}
 	t := graph.NewTree(n, Root)
 	for v := 0; v < n; v++ {

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestPaperExampleLMGBudgetSweep(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Budgets: %v", err)
 	}
-	sols, err := SweepLMG(inst, budgets, nil)
+	sols, err := SweepLMG(context.Background(), inst, budgets, nil)
 	if err != nil {
 		t.Fatalf("SweepLMG: %v", err)
 	}

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -492,16 +493,16 @@ func TestSweepsProduceSolutions(t *testing.T) {
 	if err != nil || len(thetas) != 4 {
 		t.Fatalf("Thetas: %v", err)
 	}
-	if sols, err := SweepLMG(inst, budgets, nil); err != nil || len(sols) != 4 {
+	if sols, err := SweepLMG(context.Background(), inst, budgets, nil); err != nil || len(sols) != 4 {
 		t.Errorf("SweepLMG: %d, %v", len(sols), err)
 	}
-	if sols, err := SweepMP(inst, thetas); err != nil || len(sols) == 0 {
+	if sols, err := SweepMP(context.Background(), inst, thetas); err != nil || len(sols) == 0 {
 		t.Errorf("SweepMP: %d, %v", len(sols), err)
 	}
-	if sols, err := SweepLAST(inst, []float64{1.5, 3}); err != nil || len(sols) != 2 {
+	if sols, err := SweepLAST(context.Background(), inst, []float64{1.5, 3}); err != nil || len(sols) != 2 {
 		t.Errorf("SweepLAST: %d, %v", len(sols), err)
 	}
-	if sols, err := SweepGitH(inst, []GitHOptions{{Window: 5, MaxDepth: 10}}); err != nil || len(sols) != 1 {
+	if sols, err := SweepGitH(context.Background(), inst, []GitHOptions{{Window: 5, MaxDepth: 10}}); err != nil || len(sols) != 1 {
 		t.Errorf("SweepGitH: %d, %v", len(sols), err)
 	}
 }

@@ -1,6 +1,8 @@
 package solve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -14,17 +16,24 @@ func Problem3(inst *Instance, beta float64) (*Solution, error) {
 // Problem4 minimizes the max recreation cost under storage budget β via an
 // outer binary search on θ over the MP algorithm (paper §4.2: "the solution
 // for Problem 4 is similar"). It returns the best feasible solution found.
+// iters ≤ 0 means 40.
+//
+// Problem4 is a compatibility wrapper over the registry path; prefer
+// Solve(ctx, inst, Request{Solver: "p4", Budget: ..., Iters: ...}).
 func Problem4(inst *Instance, beta float64, iters int) (*Solution, error) {
-	mst, err := MinStorage(inst)
+	return problem4Run(context.Background(), inst, beta, iters, nil)
+}
+
+// problem4Run is the cancellable Problem 4 search backing both Problem4 and
+// the registered "p4" solver; ctx is checked once per binary-search step,
+// and hints (when given) supply the precomputed MST/SPT envelope.
+func problem4Run(ctx context.Context, inst *Instance, beta float64, iters int, hints *Hints) (*Solution, error) {
+	mst, spt, err := envelope(inst, hints)
 	if err != nil {
 		return nil, err
 	}
 	if beta < mst.Storage {
-		return nil, fmt.Errorf("solve: Problem4 budget %g below minimum storage %g", beta, mst.Storage)
-	}
-	spt, err := MinRecreation(inst)
-	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("solve: Problem4 budget %g below minimum storage %g: %w", beta, mst.Storage, ErrInfeasible)
 	}
 	lo, hi := spt.MaxR, mst.MaxR
 	if hi < lo {
@@ -33,8 +42,10 @@ func Problem4(inst *Instance, beta float64, iters int) (*Solution, error) {
 	var bestSol *Solution
 	// MP(θ=maxR of MST) is always feasible within any β ≥ MST storage only
 	// if MP finds a tree at least that good; fall back to the MST itself.
-	if s, err := MP(inst, hi); err == nil && s.Storage <= beta {
+	if s, err := mpRun(ctx, inst, hi); err == nil && s.Storage <= beta {
 		bestSol = s
+	} else if checkCtx(ctx) != nil {
+		return nil, canceled(ctx)
 	} else {
 		bestSol = mst
 	}
@@ -42,8 +53,14 @@ func Problem4(inst *Instance, beta float64, iters int) (*Solution, error) {
 		iters = 40
 	}
 	for i := 0; i < iters && hi-lo > 1e-9*(1+hi); i++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		mid := (lo + hi) / 2
-		s, err := MP(inst, mid)
+		s, err := mpRun(ctx, inst, mid)
+		if err != nil && !errorsIsInfeasible(err) {
+			return nil, err
+		}
 		if err == nil && s.Storage <= beta {
 			if s.MaxR <= bestSol.MaxR {
 				bestSol = s
@@ -58,18 +75,24 @@ func Problem4(inst *Instance, beta float64, iters int) (*Solution, error) {
 
 // Problem5 minimizes total storage under a bound θ on the sum of recreation
 // costs, via binary search on the LMG storage budget (paper §4.1: "solved by
-// repeated iterations and binary search").
+// repeated iterations and binary search"). iters ≤ 0 means 40.
+//
+// Problem5 is a compatibility wrapper over the registry path; prefer
+// Solve(ctx, inst, Request{Solver: "p5", Theta: ..., Iters: ...}).
 func Problem5(inst *Instance, theta float64, iters int) (*Solution, error) {
-	mst, err := MinStorage(inst)
-	if err != nil {
-		return nil, err
-	}
-	spt, err := MinRecreation(inst)
+	return problem5Run(context.Background(), inst, theta, iters, nil)
+}
+
+// problem5Run is the cancellable Problem 5 search backing both Problem5 and
+// the registered "p5" solver; ctx is checked once per binary-search step,
+// and hints (when given) supply the precomputed MST/SPT envelope.
+func problem5Run(ctx context.Context, inst *Instance, theta float64, iters int, hints *Hints) (*Solution, error) {
+	mst, spt, err := envelope(inst, hints)
 	if err != nil {
 		return nil, err
 	}
 	if spt.SumR > theta {
-		return nil, fmt.Errorf("solve: Problem5 θ=%g infeasible, minimum Σ recreation is %g", theta, spt.SumR)
+		return nil, fmt.Errorf("solve: Problem5 θ=%g, minimum Σ recreation is %g: %w", theta, spt.SumR, ErrInfeasible)
 	}
 	if mst.SumR <= theta {
 		return mst, nil
@@ -80,8 +103,11 @@ func Problem5(inst *Instance, theta float64, iters int) (*Solution, error) {
 		iters = 40
 	}
 	for i := 0; i < iters && hi-lo > 1e-9*(1+hi); i++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		mid := (lo + hi) / 2
-		s, err := LMG(inst, LMGOptions{Budget: mid, MST: mst, SPT: spt})
+		s, err := lmgRun(ctx, inst, LMGOptions{Budget: mid, MST: mst, SPT: spt})
 		if err != nil {
 			return nil, err
 		}
@@ -103,6 +129,41 @@ func Problem6(inst *Instance, theta float64) (*Solution, error) {
 	return MP(inst, theta)
 }
 
+// envelope returns the MST/SPT pair bounding every tradeoff, reusing hints
+// when a sweep driver precomputed them.
+func envelope(inst *Instance, hints *Hints) (mst, spt *Solution, err error) {
+	if hints != nil {
+		mst, spt = hints.MST, hints.SPT
+	}
+	if mst == nil {
+		if mst, err = MinStorage(inst); err != nil {
+			return nil, nil, err
+		}
+	}
+	if spt == nil {
+		if spt, err = MinRecreation(inst); err != nil {
+			return nil, nil, err
+		}
+	}
+	return mst, spt, nil
+}
+
+// errorsIsInfeasible reports whether err marks an infeasible bound (as
+// opposed to cancellation or an internal fault).
+func errorsIsInfeasible(err error) bool {
+	return errors.Is(err, ErrInfeasible)
+}
+
+// geometric interpolates k values geometrically between lo and hi.
+func geometric(lo, hi float64, k int) []float64 {
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		f := float64(i) / float64(max(k-1, 1))
+		out[i] = lo * math.Pow(hi/lo, f)
+	}
+	return out
+}
+
 // Budgets returns k storage budgets interpolated geometrically between the
 // minimum-storage cost and the SPT (everything-materialized-at-best) cost,
 // the x-axis of the paper's Figures 13–15 tradeoff curves.
@@ -119,12 +180,7 @@ func Budgets(inst *Instance, k int) ([]float64, error) {
 	if hi <= lo {
 		hi = lo * 2
 	}
-	out := make([]float64, k)
-	for i := 0; i < k; i++ {
-		f := float64(i) / float64(max(k-1, 1))
-		out[i] = lo * math.Pow(hi/lo, f)
-	}
-	return out, nil
+	return geometric(lo, hi, k), nil
 }
 
 // Thetas returns k max-recreation bounds interpolated between the SPT max
@@ -143,17 +199,31 @@ func Thetas(inst *Instance, k int) ([]float64, error) {
 	if hi <= lo {
 		hi = lo + 1
 	}
-	out := make([]float64, k)
-	for i := 0; i < k; i++ {
-		f := float64(i) / float64(max(k-1, 1))
-		out[i] = lo * math.Pow(hi/lo, f)
+	return geometric(lo, hi, k), nil
+}
+
+// SumThetas returns k Σ-recreation bounds interpolated between the SPT sum
+// (minimum attainable) and the minimum-storage tree's sum, the knob of the
+// Problem 5 sweeps.
+func SumThetas(inst *Instance, k int) ([]float64, error) {
+	mst, err := MinStorage(inst)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	spt, err := MinRecreation(inst)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := spt.SumR, mst.SumR
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return geometric(lo, hi, k), nil
 }
 
 // SweepLMG runs LMG at each budget, computing the shared MST/MCA and SPT
-// inputs once.
-func SweepLMG(inst *Instance, budgets []float64, freq []float64) ([]*Solution, error) {
+// inputs once. Cancellation aborts the sweep with ErrCanceled.
+func SweepLMG(ctx context.Context, inst *Instance, budgets []float64, freq []float64) ([]*Solution, error) {
 	mst, err := MinStorage(inst)
 	if err != nil {
 		return nil, err
@@ -164,7 +234,10 @@ func SweepLMG(inst *Instance, budgets []float64, freq []float64) ([]*Solution, e
 	}
 	out := make([]*Solution, 0, len(budgets))
 	for _, b := range budgets {
-		s, err := LMG(inst, LMGOptions{Budget: b, Freq: freq, MST: mst, SPT: spt})
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		s, err := lmgRun(ctx, inst, LMGOptions{Budget: b, Freq: freq, MST: mst, SPT: spt})
 		if err != nil {
 			return nil, err
 		}
@@ -174,26 +247,35 @@ func SweepLMG(inst *Instance, budgets []float64, freq []float64) ([]*Solution, e
 }
 
 // SweepMP runs MP at each θ, skipping infeasible points.
-func SweepMP(inst *Instance, thetas []float64) ([]*Solution, error) {
+func SweepMP(ctx context.Context, inst *Instance, thetas []float64) ([]*Solution, error) {
 	out := make([]*Solution, 0, len(thetas))
 	for _, th := range thetas {
-		s, err := MP(inst, th)
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		s, err := mpRun(ctx, inst, th)
 		if err != nil {
-			continue
+			if errorsIsInfeasible(err) {
+				continue
+			}
+			return nil, err
 		}
 		out = append(out, s)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("solve: SweepMP: every θ infeasible")
+		return nil, fmt.Errorf("solve: SweepMP: every θ: %w", ErrInfeasible)
 	}
 	return out, nil
 }
 
 // SweepLAST runs LAST at each α.
-func SweepLAST(inst *Instance, alphas []float64) ([]*Solution, error) {
+func SweepLAST(ctx context.Context, inst *Instance, alphas []float64) ([]*Solution, error) {
 	out := make([]*Solution, 0, len(alphas))
 	for _, a := range alphas {
-		s, err := LAST(inst, a)
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		s, err := lastRun(ctx, inst, a)
 		if err != nil {
 			return nil, err
 		}
@@ -203,10 +285,13 @@ func SweepLAST(inst *Instance, alphas []float64) ([]*Solution, error) {
 }
 
 // SweepGitH runs GitH at each configuration.
-func SweepGitH(inst *Instance, cfgs []GitHOptions) ([]*Solution, error) {
+func SweepGitH(ctx context.Context, inst *Instance, cfgs []GitHOptions) ([]*Solution, error) {
 	out := make([]*Solution, 0, len(cfgs))
 	for _, c := range cfgs {
-		s, err := GitH(inst, c)
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		s, err := githRun(ctx, inst, c)
 		if err != nil {
 			return nil, err
 		}

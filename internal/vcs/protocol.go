@@ -45,17 +45,37 @@ type LogResponse struct {
 	Versions []repo.VersionInfo `json:"versions"`
 }
 
-// OptimizeRequest triggers a global storage re-layout.
+// OptimizeRequest triggers a global storage re-layout. Solver selects a
+// registry solver by name ("mst", "spt", "lmg", "mp", "last", "gith",
+// "exact", "p4", "p5") with its knobs; the legacy Objective strings remain
+// honored when Solver is empty. Unset knobs a solver requires are defaulted
+// server-side from the repository's cost envelope.
 type OptimizeRequest struct {
-	Objective    string  `json:"objective"` // "min-storage" | "sum-recreation" | "max-recreation"
-	BudgetFactor float64 `json:"budget_factor"`
-	Theta        float64 `json:"theta"`
-	RevealHops   int     `json:"reveal_hops"`
-	Compress     bool    `json:"compress"`
+	// Objective is the legacy selector: "min-storage" | "sum-recreation" |
+	// "max-recreation" (empty means "min-storage"). Ignored when Solver is
+	// set.
+	Objective string `json:"objective,omitempty"`
+	// Solver names a registry solver directly.
+	Solver string `json:"solver,omitempty"`
+	// Budget is the storage budget β for budget-constrained solvers; 0
+	// falls back to BudgetFactor × minimum storage.
+	Budget float64 `json:"budget,omitempty"`
+	// BudgetFactor multiplies the minimum storage cost into a default
+	// budget when Budget is 0. Default 1.25.
+	BudgetFactor float64 `json:"budget_factor,omitempty"`
+	// Theta is the recreation bound (max Φ for mp/exact, Σ Φ for p5).
+	Theta float64 `json:"theta,omitempty"`
+	// Alpha is LAST's stretch bound.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Iters bounds the p4/p5 binary search; 0 means 40.
+	Iters      int  `json:"iters,omitempty"`
+	RevealHops int  `json:"reveal_hops,omitempty"`
+	Compress   bool `json:"compress,omitempty"`
 }
 
 // OptimizeResponse reports the solution the optimizer chose.
 type OptimizeResponse struct {
+	Solver      string  `json:"solver"` // registry name that ran
 	Algorithm   string  `json:"algorithm"`
 	Storage     float64 `json:"storage"`
 	SumR        float64 `json:"sum_recreation"`

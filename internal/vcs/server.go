@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"versiondb/internal/repo"
+	"versiondb/internal/solve"
 )
 
 // Server serves one repository over HTTP. Concurrency control lives in the
@@ -44,16 +45,27 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-// statusFor maps repository errors to HTTP statuses: missing versions and
-// branches are 404, conflicts (duplicate branch, empty repo) are 409, and
-// only genuinely unexpected faults fall through to 500.
+// StatusClientClosedRequest is reported when a solve is aborted because the
+// client went away (nginx's non-standard 499; the response is best-effort
+// since nobody is usually listening).
+const StatusClientClosedRequest = 499
+
+// statusFor maps repository and solver errors to HTTP statuses: missing
+// versions and branches are 404, malformed optimize requests (unknown
+// solver name, invalid knobs) are 400, conflicts (duplicate branch, empty
+// repo, infeasible bound) are 409, client-disconnect cancellations are 499,
+// and only genuinely unexpected faults fall through to 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, repo.ErrUnknownVersion), errors.Is(err, repo.ErrUnknownBranch):
 		return http.StatusNotFound
+	case errors.Is(err, solve.ErrUnknownSolver), errors.Is(err, solve.ErrInvalidRequest):
+		return http.StatusBadRequest
 	case errors.Is(err, repo.ErrBranchExists), errors.Is(err, repo.ErrEmptyRepo),
-		errors.Is(err, repo.ErrInvalidMerge):
+		errors.Is(err, repo.ErrInvalidMerge), errors.Is(err, solve.ErrInfeasible):
 		return http.StatusConflict
+	case errors.Is(err, solve.ErrCanceled):
+		return StatusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}
@@ -113,44 +125,49 @@ func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, LogResponse{Versions: log})
 }
 
+// handleOptimize maps the request JSON onto a solve.Request and dispatches
+// through the repository into the solver registry under r.Context(), so a
+// client disconnect cancels a long-running solve instead of holding the
+// repository's write lock to completion.
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req OptimizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
+	solver := req.Solver
+	if solver == "" {
+		name, err := repo.ObjectiveSolverName(req.Objective)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		solver = name
+	}
 	opts := repo.OptimizeOptions{
+		Request: solve.Request{
+			Solver: solver,
+			Budget: req.Budget,
+			Theta:  req.Theta,
+			Alpha:  req.Alpha,
+			Iters:  req.Iters,
+		},
 		BudgetFactor: req.BudgetFactor,
-		Theta:        req.Theta,
 		RevealHops:   req.RevealHops,
 		Compress:     req.Compress,
 	}
-	switch req.Objective {
-	case "min-storage", "":
-		opts.Objective = repo.MinStorageObjective
-	case "sum-recreation":
-		opts.Objective = repo.SumRecreationObjective
-	case "max-recreation":
-		opts.Objective = repo.MaxRecreationObjective
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown objective %q", req.Objective))
-		return
-	}
-	sol, err := s.repo.Optimize(opts)
-	var stored int64
-	if err == nil {
-		stored = s.repo.Stats().StoredBytes
-	}
+	res, err := s.repo.Optimize(r.Context(), opts)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, OptimizeResponse{
-		Algorithm:   sol.Algorithm,
-		Storage:     sol.Storage,
-		SumR:        sol.SumR,
-		MaxR:        sol.MaxR,
-		StoredBytes: stored,
+		Solver:      res.Solver,
+		Algorithm:   res.Algorithm,
+		Storage:     res.Storage,
+		SumR:        res.SumR,
+		MaxR:        res.MaxR,
+		StoredBytes: s.repo.Stats().StoredBytes,
 	})
 }
 

@@ -2,6 +2,8 @@ package vcs
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"net/http"
@@ -11,6 +13,7 @@ import (
 
 	"versiondb/internal/dataset"
 	"versiondb/internal/repo"
+	"versiondb/internal/solve"
 )
 
 func newClientServer(t *testing.T) *Client {
@@ -197,6 +200,73 @@ func TestHTTPStatusCodes(t *testing.T) {
 func TestOptimizeEmptyRepoConflicts(t *testing.T) {
 	_, base := newServerURL(t)
 	wantStatus(t, http.MethodPost, base+"/optimize", `{"objective":"min-storage"}`, http.StatusConflict)
+}
+
+// TestOptimizeBySolverOverHTTP exercises the registry path of /optimize:
+// naming a solver directly, echoing it in the response, and the normalized
+// error statuses (400 unknown solver, 409 infeasible bound).
+func TestOptimizeBySolverOverHTTP(t *testing.T) {
+	c, base := newServerURL(t)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Commit(repo.DefaultBranch, payload(t, 30+int64(i), 30+i), "v"); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	for solver, algorithm := range map[string]string{
+		"mst": "MST/MCA", "spt": "SPT", "p4": "MP + binary search",
+	} {
+		resp, err := c.Optimize(OptimizeRequest{Solver: solver, RevealHops: 3})
+		if err != nil {
+			t.Fatalf("Optimize(%s): %v", solver, err)
+		}
+		if resp.Solver != solver {
+			t.Errorf("response solver = %q, want %q", resp.Solver, solver)
+		}
+		if info, err := solve.Describe(solver); err != nil || info.Algorithm != algorithm {
+			t.Errorf("Describe(%s) = %+v, %v", solver, info, err)
+		}
+	}
+	// Unknown solver names are client errors, not 500s.
+	wantStatus(t, http.MethodPost, base+"/optimize", `{"solver":"simplex"}`, http.StatusBadRequest)
+	// Infeasible bounds are conflicts: θ=1 byte is below any version size.
+	wantStatus(t, http.MethodPost, base+"/optimize", `{"solver":"mp","theta":1}`, http.StatusConflict)
+}
+
+// TestOptimizeClientDisconnectCancels verifies the handler actually threads
+// r.Context() into the solve: invoking handleOptimize with a canceled
+// request context must execute the handler, surface solve.ErrCanceled, and
+// map it to 499 — then the repository keeps serving intact bytes. (Driving
+// the handler directly, rather than canceling a client-side HTTP call,
+// guarantees the server-side path runs; a canceled client call never leaves
+// the transport.)
+func TestOptimizeClientDisconnectCancels(t *testing.T) {
+	r, err := repo.Init(t.TempDir())
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	srv := NewServer(r)
+	want := payload(t, 40, 60)
+	if _, err := r.Commit(repo.DefaultBranch, want, "v0"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // simulates the net/http server canceling r.Context() on disconnect
+	req := httptest.NewRequest(http.MethodPost, "/optimize",
+		strings.NewReader(`{"objective":"sum-recreation"}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Errorf("canceled /optimize status = %d, want %d (body %s)", rec.Code, StatusClientClosedRequest, rec.Body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, solve.ErrCanceled.Error()) {
+		t.Errorf("canceled /optimize body = %q, want ErrCanceled text", rec.Body)
+	}
+	// The write lock must be released and content intact.
+	got, err := r.Checkout(0)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Errorf("repository unusable after canceled optimize: %v", err)
+	}
 }
 
 func TestClientSurfacesStatusError(t *testing.T) {

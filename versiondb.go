@@ -17,8 +17,13 @@
 //	Problem 5  min storage s.t. Σ recreation ≤ θ → Problem5 (LMG + search)
 //	Problem 6  min storage s.t. max recreation ≤ θ → MP
 //
-// A typical session builds a cost Matrix, wraps it in an Instance, and runs
-// a solver:
+// All solvers sit behind one request/result API: a Request names a
+// registered solver (mst, spt, lmg, mp, last, gith, exact, p4, p5) and
+// carries its knobs, Solve dispatches through the registry under a
+// context.Context (cancelable mid-solve), and failures are normalized
+// sentinels (ErrUnknownSolver, ErrInvalidRequest, ErrInfeasible,
+// ErrCanceled). A typical session builds a cost Matrix, wraps it in an
+// Instance, and solves:
 //
 //	m := versiondb.NewMatrix(3, true)
 //	m.SetFull(0, 1000, 1000)
@@ -27,7 +32,12 @@
 //	m.SetDelta(0, 1, 25, 25)
 //	m.SetDelta(1, 2, 30, 30)
 //	inst, _ := versiondb.NewInstance(m)
-//	sol, _ := versiondb.LMG(inst, versiondb.LMGOptions{Budget: 1100})
+//	res, _ := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "lmg", Budget: 1100})
+//
+// Solvers() lists the registry with each solver's paper problem and
+// declared constraint. The per-algorithm functions (LMG, MP, LAST, ...)
+// remain as thin wrappers over the same implementations for callers that
+// do not need names or cancellation.
 //
 // Beyond the solvers, the module ships every substrate of the paper's
 // prototype: differencing algorithms (internal/delta), a content-addressed
@@ -59,6 +69,8 @@
 package versiondb
 
 import (
+	"context"
+
 	"versiondb/internal/costs"
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
@@ -94,6 +106,45 @@ type Solution = solve.Solution
 // NewInstance builds the augmented graph for a matrix.
 func NewInstance(m *Matrix) (*Instance, error) { return solve.NewInstance(m) }
 
+// Request names a registered solver and carries every knob the solvers
+// accept (Budget, Theta, Alpha, Weights, Iters, Window, MaxDepth,
+// MaxNodes).
+type Request = solve.Request
+
+// Result is a solve outcome: the Solution plus the producing solver's name
+// and optimality metadata.
+type Result = solve.Result
+
+// SolverInfo is a registered solver's capability record (paper problem,
+// objective, declared constraint, sweep knob).
+type SolverInfo = solve.Info
+
+// Normalized solver errors; test with errors.Is.
+var (
+	// ErrUnknownSolver: the Request names no registered solver.
+	ErrUnknownSolver = solve.ErrUnknownSolver
+	// ErrInvalidRequest: a knob fails the named solver's validation.
+	ErrInvalidRequest = solve.ErrInvalidRequest
+	// ErrInfeasible: no spanning tree satisfies the requested constraint.
+	ErrInfeasible = solve.ErrInfeasible
+	// ErrCanceled: the context was canceled mid-solve.
+	ErrCanceled = solve.ErrCanceled
+)
+
+// Solve is the unified solver entry point: it dispatches req through the
+// registry under ctx. Iterative solvers (LMG, MP, the binary searches, the
+// exact branch and bound) honor cancellation mid-solve.
+func Solve(ctx context.Context, inst *Instance, req Request) (*Result, error) {
+	return solve.Solve(ctx, inst, req)
+}
+
+// Solvers lists every registered solver's capability record, sorted by
+// name.
+func Solvers() []SolverInfo { return solve.Solvers() }
+
+// SolverNames lists the registered solver names, sorted.
+func SolverNames() []string { return solve.Names() }
+
 // MinStorage solves Problem 1 (minimum spanning tree / arborescence).
 func MinStorage(inst *Instance) (*Solution, error) { return solve.MinStorage(inst) }
 
@@ -118,12 +169,16 @@ type GitHOptions = solve.GitHOptions
 // GitH runs the Git repack heuristic (window/depth).
 func GitH(inst *Instance, opts GitHOptions) (*Solution, error) { return solve.GitH(inst, opts) }
 
-// Problem4 minimizes max recreation under a storage budget.
+// Problem4 minimizes max recreation under a storage budget, running the
+// default 40 binary-search iterations. Use Solve with Request.Iters to
+// control the search depth.
 func Problem4(inst *Instance, beta float64) (*Solution, error) {
 	return solve.Problem4(inst, beta, 0)
 }
 
-// Problem5 minimizes storage under a Σ-recreation bound.
+// Problem5 minimizes storage under a Σ-recreation bound, running the
+// default 40 binary-search iterations. Use Solve with Request.Iters to
+// control the search depth.
 func Problem5(inst *Instance, theta float64) (*Solution, error) {
 	return solve.Problem5(inst, theta, 0)
 }

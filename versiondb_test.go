@@ -2,6 +2,8 @@ package versiondb_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"versiondb"
@@ -71,6 +73,65 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicSolveAPI drives the unified request/result path through the
+// facade: every registered solver by name, the normalized sentinels, and
+// cancellation.
+func TestPublicSolveAPI(t *testing.T) {
+	m, err := versiondb.BuildWorkload(versiondb.LC, 30, true, 1)
+	if err != nil {
+		t.Fatalf("BuildWorkload: %v", err)
+	}
+	inst, err := versiondb.NewInstance(m)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	ctx := context.Background()
+	mst, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "mst"})
+	if err != nil {
+		t.Fatalf("Solve(mst): %v", err)
+	}
+	spt, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "spt"})
+	if err != nil {
+		t.Fatalf("Solve(spt): %v", err)
+	}
+	if !mst.Optimal || !spt.Optimal {
+		t.Errorf("mst/spt not marked optimal")
+	}
+	infos := versiondb.Solvers()
+	if len(infos) != 9 || len(versiondb.SolverNames()) != 9 {
+		t.Fatalf("registry has %d solvers, want 9", len(infos))
+	}
+	for _, info := range infos {
+		req := versiondb.Request{Solver: info.Name, Budget: mst.Storage * 1.5,
+			Theta: mst.SumR, Alpha: 2, MaxNodes: 100_000}
+		if info.Name == "mp" || info.Name == "exact" {
+			req.Theta = mst.MaxR
+		}
+		res, err := versiondb.Solve(ctx, inst, req)
+		if err != nil {
+			t.Errorf("Solve(%s): %v", info.Name, err)
+			continue
+		}
+		if res.Solver != info.Name || res.Tree == nil {
+			t.Errorf("Solve(%s) returned %+v", info.Name, res)
+		}
+	}
+	if _, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "nope"}); !errors.Is(err, versiondb.ErrUnknownSolver) {
+		t.Errorf("unknown solver err = %v", err)
+	}
+	if _, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "lmg"}); !errors.Is(err, versiondb.ErrInvalidRequest) {
+		t.Errorf("missing budget err = %v", err)
+	}
+	if _, err := versiondb.Solve(ctx, inst, versiondb.Request{Solver: "mp", Theta: spt.MaxR / 2}); !errors.Is(err, versiondb.ErrInfeasible) {
+		t.Errorf("infeasible θ err = %v", err)
+	}
+	canceledCtx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := versiondb.Solve(canceledCtx, inst, versiondb.Request{Solver: "lmg", Budget: mst.Storage * 2}); !errors.Is(err, versiondb.ErrCanceled) {
+		t.Errorf("canceled ctx err = %v", err)
+	}
+}
+
 func TestPublicAPIWorkloadsAndRepo(t *testing.T) {
 	for _, p := range []versiondb.Preset{versiondb.DC, versiondb.LC, versiondb.BF, versiondb.LF} {
 		m, err := versiondb.BuildWorkload(p, 40, true, 1)
@@ -98,7 +159,7 @@ func TestPublicAPIWorkloadsAndRepo(t *testing.T) {
 	if _, err := r.Commit("master", v2, "edit"); err != nil {
 		t.Fatalf("Commit 2: %v", err)
 	}
-	if _, err := r.Optimize(versiondb.OptimizeOptions{
+	if _, err := r.Optimize(context.Background(), versiondb.OptimizeOptions{
 		Objective:    versiondb.SumRecreationObjective,
 		BudgetFactor: 1.5,
 		RevealHops:   3,

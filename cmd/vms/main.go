@@ -15,6 +15,8 @@
 //	vms -dir D optimize -solver mst|spt|lmg|mp|last|gith|exact|p4|p5 \
 //	                    [-budget B] [-budget-factor X] [-theta T] [-alpha A] \
 //	                    [-iters N] [-hops K] [-compress]
+//	vms -server URL optimize -async [...]
+//	vms -server URL jobs [-id J [-wait]] [-cancel J]
 //
 // optimize dispatches through the unified solver registry; `vms solvers`
 // lists every registered solver with its paper problem and constraint. The
@@ -22,6 +24,12 @@
 // remain accepted when -solver is not given. A local optimize honors
 // Ctrl-C: interrupting a long solve cancels it cleanly instead of killing
 // the process mid-rewrite.
+//
+// Against a server, `optimize -async` queues the re-layout as a background
+// job and prints its id immediately — the server solves off-lock and swaps
+// the layout copy-on-write, so checkouts keep flowing meanwhile. `vms
+// jobs` lists jobs, `-id J` shows one (add -wait to block until it
+// finishes), and `-cancel J` stops one server-side.
 //
 // Replace -dir D with -server URL to run against a vmsd instance. The
 // global -cache N flag bounds the local checkout LRU (0 disables); -backend
@@ -37,6 +45,7 @@ import (
 	"os/signal"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"versiondb/internal/bench"
 	"versiondb/internal/repo"
@@ -63,7 +72,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand (init, commit, merge, branch, checkout, log, stats, solvers, optimize)")
+		return fmt.Errorf("missing subcommand (init, commit, merge, branch, checkout, log, stats, solvers, optimize, jobs)")
 	}
 	cmd, rest := rest[0], rest[1:]
 	if cmd == "solvers" {
@@ -172,10 +181,15 @@ func runLocal(dir, backend string, cache int, cmd string, args []string) error {
 		fmt.Printf("stored bytes:   %d\n", st.StoredBytes)
 		fmt.Printf("logical bytes:  %d\n", st.LogicalBytes)
 		fmt.Printf("max chain hops: %d\n", st.MaxChainHops)
+	case "jobs":
+		return fmt.Errorf("jobs requires -server (background jobs live in a vmsd instance)")
 	case "optimize":
-		wire, err := parseOptimizeFlags(args)
+		wire, async, err := parseOptimizeFlags(args)
 		if err != nil {
 			return err
+		}
+		if async {
+			return fmt.Errorf("optimize -async requires -server (a local process would just wait for its own job)")
 		}
 		solver := wire.Solver
 		if solver == "" {
@@ -273,7 +287,7 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 		fmt.Printf("versions=%d branches=%d materialized=%d stored=%d logical=%d maxChain=%d\n",
 			st.Versions, st.Branches, st.Materialized, st.StoredBytes, st.LogicalBytes, st.MaxChainHops)
 	case "optimize":
-		wire, err := parseOptimizeFlags(args)
+		wire, async, err := parseOptimizeFlags(args)
 		if err != nil {
 			return err
 		}
@@ -284,21 +298,96 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 				return err
 			}
 		}
+		if async {
+			id, err := c.OptimizeAsync(wire)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("optimize queued as job %s (vms jobs -id %s -wait to follow, -cancel %s to stop)\n", id, id, id)
+			return nil
+		}
 		resp, err := c.Optimize(wire)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("optimized with %s (%s): storage=%.0f ΣR=%.0f maxR=%.0f stored=%d\n",
 			resp.Solver, resp.Algorithm, resp.Storage, resp.SumR, resp.MaxR, resp.StoredBytes)
+	case "jobs":
+		fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+		id := fs.String("id", "", "show a single job")
+		cancel := fs.String("cancel", "", "cancel the job with this id")
+		wait := fs.Bool("wait", false, "with -id, block until the job reaches a terminal state")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		switch {
+		case *cancel != "":
+			info, err := c.CancelJob(*cancel)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("job %s: %s\n", info.ID, info.State)
+		case *id != "":
+			var info *vcs.JobInfo
+			var err error
+			if *wait {
+				info, err = c.JobWait(*id)
+			} else {
+				info, err = c.Job(*id)
+			}
+			if err != nil {
+				return err
+			}
+			printJob(info)
+		default:
+			list, err := c.Jobs()
+			if err != nil {
+				return err
+			}
+			tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "id\tstate\tsolver\tphase\tdetail")
+			for i := range list {
+				j := &list[i]
+				detail := j.Error
+				if j.Result != nil {
+					detail = fmt.Sprintf("storage=%.0f ΣR=%.0f", j.Result.Storage, j.Result.SumR)
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", j.ID, j.State, j.Solver, j.Phase, detail)
+			}
+			tw.Flush()
+		}
 	default:
 		return fmt.Errorf("unknown subcommand %q (remote)", cmd)
 	}
 	return nil
 }
 
+// printJob renders one job in detail.
+func printJob(j *vcs.JobInfo) {
+	fmt.Printf("job %s: %s (solver %s)\n", j.ID, j.State, j.Solver)
+	if j.Phase != "" {
+		fmt.Printf("  phase:    %s\n", j.Phase)
+	}
+	fmt.Printf("  created:  %s\n", j.Created.Format(time.RFC3339))
+	if !j.Started.IsZero() {
+		fmt.Printf("  started:  %s\n", j.Started.Format(time.RFC3339))
+	}
+	if !j.Finished.IsZero() {
+		fmt.Printf("  finished: %s\n", j.Finished.Format(time.RFC3339))
+	}
+	if j.Result != nil {
+		fmt.Printf("  result:   %s (%s) storage=%.0f ΣR=%.0f maxR=%.0f stored=%d\n",
+			j.Result.Solver, j.Result.Algorithm, j.Result.Storage, j.Result.SumR, j.Result.MaxR, j.Result.StoredBytes)
+	}
+	if j.Error != "" {
+		fmt.Printf("  error:    %s\n", j.Error)
+	}
+}
+
 // parseOptimizeFlags parses the shared optimize flag set into the wire
-// request both the local and remote paths consume.
-func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, error) {
+// request both the local and remote paths consume, plus the -async flag
+// only the remote path honors.
+func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, bool, error) {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	solver := fs.String("solver", "", "registry solver name (see `vms solvers`); overrides -objective")
 	objective := fs.String("objective", "sum-recreation", "legacy selector: min-storage, sum-recreation or max-recreation")
@@ -309,13 +398,14 @@ func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, error) {
 	iters := fs.Int("iters", 0, "binary-search iterations for p4/p5 (0 = 40)")
 	hops := fs.Int("hops", 5, "delta revelation radius")
 	compress := fs.Bool("compress", false, "compress stored blobs")
+	async := fs.Bool("async", false, "queue as a background job on the server and return its id (remote only)")
 	if err := fs.Parse(args); err != nil {
-		return vcs.OptimizeRequest{}, err
+		return vcs.OptimizeRequest{}, false, err
 	}
 	return vcs.OptimizeRequest{
 		Solver: *solver, Objective: *objective, Budget: *budget, BudgetFactor: *bf,
 		Theta: *theta, Alpha: *alpha, Iters: *iters, RevealHops: *hops, Compress: *compress,
-	}, nil
+	}, *async, nil
 }
 
 func printLog(versions []repo.VersionInfo) {

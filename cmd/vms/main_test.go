@@ -142,3 +142,70 @@ func TestCLIRemoteWorkflow(t *testing.T) {
 		t.Errorf("unknown remote subcommand accepted")
 	}
 }
+
+// TestCLIAsyncOptimizeAndJobs drives the background-job surface: queue an
+// async optimize, list jobs, follow one to completion, and exercise the
+// cancel and error paths.
+func TestCLIAsyncOptimizeAndJobs(t *testing.T) {
+	repoDir := t.TempDir()
+	r, err := repo.Init(repoDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := vcs.NewServer(r)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	work := t.TempDir()
+	for i, body := range []string{"x,y\n1,1\n", "x,y\n1,1\n2,2\n", "x,y\n1,1\n2,2\n3,3\n"} {
+		f := writeCSV(t, work, "v.csv", body)
+		if err := run([]string{"-server", srv.URL, "commit", "-file", f, "-m", "c"}); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+
+	if err := run([]string{"-server", srv.URL, "optimize", "-async", "-solver", "mst", "-hops", "2"}); err != nil {
+		t.Fatalf("optimize -async: %v", err)
+	}
+	// Recover the id via the client (the CLI printed it to stdout).
+	c := vcs.NewClient(srv.URL)
+	list, err := c.Jobs()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("Jobs: %v (%d jobs)", err, len(list))
+	}
+	id := list[0].ID
+	for _, args := range [][]string{
+		{"-server", srv.URL, "jobs"},
+		{"-server", srv.URL, "jobs", "-id", id, "-wait"},
+		{"-server", srv.URL, "jobs", "-cancel", id}, // finished: idempotent no-op
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("vms %v: %v", args, err)
+		}
+	}
+	final, err := c.Job(id)
+	if err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	if final.State != "done" {
+		t.Errorf("job state %q after wait+cancel, want done", final.State)
+	}
+
+	// Error paths: unknown job id, async without a server, jobs locally.
+	if err := run([]string{"-server", srv.URL, "jobs", "-id", "j999"}); err == nil {
+		t.Errorf("unknown job id accepted")
+	}
+	if err := run([]string{"-server", srv.URL, "jobs", "-cancel", "j999"}); err == nil {
+		t.Errorf("cancel of unknown job accepted")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir, "init"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir, "optimize", "-async"}); err == nil {
+		t.Errorf("local optimize -async accepted")
+	}
+	if err := run([]string{"-dir", dir, "jobs"}); err == nil {
+		t.Errorf("local jobs accepted")
+	}
+}

@@ -3,14 +3,15 @@
 //
 // Usage:
 //
-//	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem] [-cache N]
+//	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem] [-cache N] [-jobs N]
 //
 // The -backend flag selects the physical store: "fs" (default) persists
 // loose objects and packfiles under -dir; "mem" serves a fresh
 // concurrency-safe in-memory repository (no -dir needed, contents die with
 // the process — useful for caching tiers and load tests). -cache bounds
 // the LRU of materialized versions that lets hot checkouts skip
-// delta-chain replay.
+// delta-chain replay. -jobs bounds how many background optimize jobs
+// (POST /optimize?async=1) run concurrently; excess submissions queue.
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	doInit := flag.Bool("init", false, "initialize a fresh repository at -dir")
 	backend := flag.String("backend", "fs", "storage backend: fs or mem")
 	cache := flag.Int("cache", 64, "checkout LRU capacity in versions (0 disables)")
+	jobWorkers := flag.Int("jobs", 0, "max concurrent background optimize jobs (0 = default)")
 	flag.Parse()
 	var (
 		r   *repo.Repo
@@ -54,8 +56,12 @@ func main() {
 		log.Fatalf("vmsd: %v", err)
 	}
 	r.EnableCache(*cache)
-	srv := vcs.NewServer(r)
+	srv := vcs.NewServer(r, vcs.WithJobWorkers(*jobWorkers))
 	fmt.Printf("vmsd: serving %s backend on %s (%d versions, cache %d)\n",
 		*backend, *addr, r.NumVersions(), *cache)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	// ListenAndServe only ever returns an error; cancel background jobs
+	// and wait for them before exiting (log.Fatal would skip defers).
+	serveErr := http.ListenAndServe(*addr, srv.Handler())
+	srv.Close()
+	log.Fatal(serveErr)
 }

@@ -119,7 +119,11 @@ func ApplyBinary(d, source []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("delta: binary header: %w", err)
 	}
-	out := make([]byte, 0, tgtLen)
+	// The header's target length is untrusted: pre-size only up to what
+	// the instruction stream could plausibly produce, and fail as soon as
+	// the output overruns the claim rather than after materializing it.
+	capHint := int(min(tgtLen, uint64(len(d)+len(source))))
+	out := make([]byte, 0, capHint)
 	for r.Len() > 0 {
 		op, err := r.ReadByte()
 		if err != nil {
@@ -148,12 +152,16 @@ func ApplyBinary(d, source []byte) ([]byte, error) {
 			if err != nil {
 				return nil, fmt.Errorf("delta: binary copy length: %w", err)
 			}
-			if off+n > uint64(len(source)) {
-				return nil, fmt.Errorf("delta: binary copy [%d,%d) past source end %d", off, off+n, len(source))
+			// Compare without off+n, which a corrupt delta can overflow.
+			if off > uint64(len(source)) || n > uint64(len(source))-off {
+				return nil, fmt.Errorf("delta: binary copy [%d,+%d) past source end %d", off, n, len(source))
 			}
 			out = append(out, source[off:off+n]...)
 		default:
 			return nil, fmt.Errorf("delta: unknown binary opcode %d", op)
+		}
+		if uint64(len(out)) > tgtLen {
+			return nil, fmt.Errorf("delta: binary apply exceeded declared target length %d", tgtLen)
 		}
 	}
 	if uint64(len(out)) != tgtLen {

@@ -35,12 +35,20 @@ func Encode(d *LineDelta, oneWay bool) []byte {
 		putUv(0)
 	}
 	for _, h := range d.Hunks {
+		nd := h.NumDel()
 		putUv(uint64(h.SrcPos))
-		putUv(uint64(len(h.Del)))
+		putUv(uint64(nd))
 		putUv(uint64(len(h.Ins)))
 		if !oneWay {
+			// Count-only hunks (one-way decodes) have no content to
+			// upgrade into a two-way encoding; pad with empty lines so the
+			// header stays consistent and a later Apply fails loudly on
+			// the context check instead of silently skipping deletions.
 			for _, l := range h.Del {
 				putStr(l)
+			}
+			for i := len(h.Del); i < nd; i++ {
+				putStr("")
 			}
 		}
 		for _, l := range h.Ins {
@@ -50,10 +58,17 @@ func Encode(d *LineDelta, oneWay bool) []byte {
 	return buf.Bytes()
 }
 
+// maxLinePos bounds the source position a decoded hunk may reach, solely
+// so that position arithmetic (SrcPos + count) can never overflow int; any
+// conforming encoder output is far below it.
+const maxLinePos = 1 << 62
+
 // Decode parses an encoded LineDelta, reporting whether it was one-way.
-// One-way deltas decode with nil Del content but the original Del counts
-// preserved as empty strings, so Apply still consumes the right lines (the
-// context check is skipped for them).
+// One-way deltas decode with nil Del content and the deleted-line count in
+// Hunk.DelCount, so Apply still consumes the right lines (the context
+// check is skipped for them). Corrupt input — truncated varints, counts
+// that exceed the remaining bytes, hunks out of order — returns an error,
+// never panics, and never allocates more than O(len(enc)).
 func Decode(enc []byte) (*LineDelta, bool, error) {
 	r := bytes.NewReader(enc)
 	getUv := func() (uint64, error) { return binary.ReadUvarint(r) }
@@ -61,6 +76,9 @@ func Decode(enc []byte) (*LineDelta, bool, error) {
 		n, err := getUv()
 		if err != nil {
 			return "", err
+		}
+		if n > uint64(r.Len()) {
+			return "", fmt.Errorf("line of %d bytes in %d remaining", n, r.Len())
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(r, b); err != nil {
@@ -72,13 +90,20 @@ func Decode(enc []byte) (*LineDelta, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("delta: decode: %w", err)
 	}
+	// Every hunk encodes at least three varint bytes, so a count beyond
+	// the remaining length is corrupt — and capping here keeps the Hunks
+	// allocation proportional to the input.
+	if nh > uint64(r.Len()) {
+		return nil, false, fmt.Errorf("delta: decode: %d hunks claimed in %d bytes", nh, r.Len())
+	}
 	ow, err := getUv()
 	if err != nil {
 		return nil, false, fmt.Errorf("delta: decode: %w", err)
 	}
 	oneWay := ow == 1
-	d := &LineDelta{Hunks: make([]Hunk, nh)}
-	for i := range d.Hunks {
+	d := &LineDelta{Hunks: make([]Hunk, 0, nh)}
+	pos := uint64(0) // first source line the next hunk may touch
+	for i := 0; i < int(nh); i++ {
 		sp, err := getUv()
 		if err != nil {
 			return nil, false, fmt.Errorf("delta: decode hunk %d: %w", i, err)
@@ -91,6 +116,18 @@ func Decode(enc []byte) (*LineDelta, bool, error) {
 		if err != nil {
 			return nil, false, fmt.Errorf("delta: decode hunk %d: %w", i, err)
 		}
+		// Hunks advance monotonically through the source (Apply enforces
+		// the same); the position bound only protects the int arithmetic.
+		if sp < pos || sp > maxLinePos || nd > maxLinePos-sp {
+			return nil, false, fmt.Errorf("delta: decode hunk %d: source span [%d,%d+%d) invalid at line %d", i, sp, sp, nd, pos)
+		}
+		pos = sp + nd
+		// Inserted lines (and two-way deleted lines) each consume at least
+		// one encoded byte; one-way deletions are a bare count (DelCount),
+		// so they allocate nothing no matter what the header claims.
+		if ni > uint64(r.Len()) || (!oneWay && nd > uint64(r.Len())) {
+			return nil, false, fmt.Errorf("delta: decode hunk %d: %d+%d lines claimed in %d bytes", i, nd, ni, r.Len())
+		}
 		h := Hunk{SrcPos: int(sp)}
 		if !oneWay {
 			h.Del = make([]string, nd)
@@ -100,7 +137,7 @@ func Decode(enc []byte) (*LineDelta, bool, error) {
 				}
 			}
 		} else {
-			h.Del = make([]string, nd) // counts only
+			h.DelCount = int(nd) // count only; no content to carry
 		}
 		h.Ins = make([]string, ni)
 		for j := range h.Ins {
@@ -108,7 +145,7 @@ func Decode(enc []byte) (*LineDelta, bool, error) {
 				return nil, false, fmt.Errorf("delta: decode hunk %d ins %d: %w", i, j, err)
 			}
 		}
-		d.Hunks[i] = h
+		d.Hunks = append(d.Hunks, h)
 	}
 	return d, oneWay, nil
 }
@@ -126,17 +163,19 @@ func ApplyEncoded(enc, src []byte) ([]byte, error) {
 	return applyCounts(d, src)
 }
 
-// applyCounts applies a one-way delta whose Del entries carry counts only.
+// applyCounts applies a one-way delta whose hunks carry deletion counts
+// (DelCount) rather than deleted content.
 func applyCounts(d *LineDelta, src []byte) ([]byte, error) {
 	lines := SplitLines(src)
 	var out []string
 	pos := 0
-	for hi, h := range d.Hunks {
+	for hi := range d.Hunks {
+		h := &d.Hunks[hi]
 		if h.SrcPos < pos || h.SrcPos > len(lines) {
 			return nil, fmt.Errorf("delta: hunk %d at %d out of order", hi, h.SrcPos)
 		}
 		out = append(out, lines[pos:h.SrcPos]...)
-		pos = h.SrcPos + len(h.Del)
+		pos = h.SrcPos + h.NumDel()
 		if pos > len(lines) {
 			return nil, fmt.Errorf("delta: hunk %d deletes past end of source", hi)
 		}

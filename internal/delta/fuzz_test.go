@@ -1,0 +1,186 @@
+package delta
+
+// Fuzzers for the three delta codecs. Each asserts two properties:
+//
+//  1. Round trip: encoding a delta computed between two payloads and
+//     applying it to the source reproduces the target (for the line codec,
+//     the target's canonical line form — SplitLines/JoinLines normalize a
+//     missing trailing newline, which is the codec's documented contract).
+//  2. Robustness: decoding/applying arbitrary bytes returns an error —
+//     it never panics and never allocates unboundedly from a hostile
+//     header.
+//
+// Run continuously with `go test -fuzz=FuzzLineDiffRoundTrip` (etc.); CI
+// runs a short smoke pass per fuzzer.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// canonicalLines is the line codec's normal form: what any apply of a
+// line delta reconstructs.
+func canonicalLines(b []byte) []byte { return JoinLines(SplitLines(b)) }
+
+// deltasEqual compares two LineDeltas hunk by hunk, treating nil and empty
+// slices as equal (Decode materializes empty slices where the differ may
+// leave nil). withDel=false compares Del counts only, the information a
+// one-way encoding preserves.
+func deltasEqual(a, b *LineDelta, withDel bool) bool {
+	if len(a.Hunks) != len(b.Hunks) {
+		return false
+	}
+	for i := range a.Hunks {
+		ha, hb := a.Hunks[i], b.Hunks[i]
+		if ha.SrcPos != hb.SrcPos || ha.NumDel() != hb.NumDel() || len(ha.Ins) != len(hb.Ins) {
+			return false
+		}
+		for j := range ha.Ins {
+			if ha.Ins[j] != hb.Ins[j] {
+				return false
+			}
+		}
+		if withDel {
+			for j := range ha.Del {
+				if ha.Del[j] != hb.Del[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func FuzzLineDiffRoundTrip(f *testing.F) {
+	f.Add([]byte(""), []byte(""))
+	f.Add([]byte("a\nb\nc\n"), []byte("a\nx\nc\n"))
+	f.Add([]byte("id,val\n1,10\n2,20\n"), []byte("id,val\n1,10\n2,21\n3,30\n"))
+	f.Add([]byte("only\n"), []byte(""))
+	f.Add([]byte(""), []byte("fresh\nlines\n"))
+	f.Add([]byte("no trailing newline"), []byte("no trailing newline either"))
+	f.Add([]byte("\n\n\n"), []byte("\n"))
+	f.Add([]byte{0x00, 0xff, 0x0a, 0x80}, []byte{0xff, 0x00})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		d := DiffLines(a, b)
+		wantB := canonicalLines(b)
+
+		// Two-way: encode → decode is the identity on the delta, and the
+		// decoded delta still applies.
+		enc2 := Encode(d, false)
+		d2, oneWay, err := Decode(enc2)
+		if err != nil {
+			t.Fatalf("Decode(two-way): %v", err)
+		}
+		if oneWay {
+			t.Fatal("two-way encoding decoded as one-way")
+		}
+		if !deltasEqual(d, d2, true) {
+			t.Fatalf("two-way decode is not the identity:\n got %+v\nwant %+v", d2, d)
+		}
+		got, err := ApplyEncoded(enc2, a)
+		if err != nil {
+			t.Fatalf("ApplyEncoded(two-way): %v", err)
+		}
+		if !bytes.Equal(got, wantB) {
+			t.Fatalf("two-way apply: got %q, want %q", got, wantB)
+		}
+
+		// One-way: hunk structure (with Del counts) survives, and apply
+		// reconstructs the target.
+		enc1 := Encode(d, true)
+		d1, oneWay, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("Decode(one-way): %v", err)
+		}
+		if !oneWay {
+			t.Fatal("one-way encoding decoded as two-way")
+		}
+		if !deltasEqual(d, d1, false) {
+			t.Fatalf("one-way decode lost hunk structure:\n got %+v\nwant %+v", d1, d)
+		}
+		got, err = ApplyEncoded(enc1, a)
+		if err != nil {
+			t.Fatalf("ApplyEncoded(one-way): %v", err)
+		}
+		if !bytes.Equal(got, wantB) {
+			t.Fatalf("one-way apply: got %q, want %q", got, wantB)
+		}
+
+		// Robustness: the raw inputs are (almost certainly) not valid
+		// encodings; decoding and applying them must error or succeed, but
+		// never panic.
+		if _, _, err := Decode(a); err == nil {
+			_, _ = ApplyEncoded(a, b)
+		}
+		if _, _, err := Decode(b); err == nil {
+			_, _ = ApplyEncoded(b, a)
+		}
+	})
+}
+
+func FuzzBinDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte(""), []byte(""))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), []byte("the quick brown cat naps over the lazy dog"))
+	f.Add(bytes.Repeat([]byte{0xAB}, 64), bytes.Repeat([]byte{0xAB}, 80))
+	f.Add([]byte("short"), bytes.Repeat([]byte("block-aligned-content-1234"), 8))
+	f.Add([]byte{0, 1, 2, 3}, []byte{})
+	f.Fuzz(func(t *testing.T, source, target []byte) {
+		d := BinaryDiff(source, target)
+		got, err := ApplyBinary(d, source)
+		if err != nil {
+			t.Fatalf("ApplyBinary(BinaryDiff(...)): %v", err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatalf("binary round trip: got %d bytes, want %d", len(got), len(target))
+		}
+		// Robustness: arbitrary bytes as a delta must never panic.
+		_, _ = ApplyBinary(target, source)
+		_, _ = ApplyBinary(source, target)
+	})
+}
+
+func FuzzXORRoundTrip(f *testing.F) {
+	f.Add([]byte(""), []byte(""))
+	f.Add([]byte("aaaa"), []byte("aaab"))
+	f.Add([]byte("short"), []byte("a much longer counterpart payload"))
+	f.Add(bytes.Repeat([]byte{0x55}, 33), bytes.Repeat([]byte{0xAA}, 7))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		d := XOR(a, b)
+		// Symmetric: the same delta maps a→b and b→a.
+		gotB, err := ApplyXOR(d, a)
+		if err != nil {
+			t.Fatalf("ApplyXOR(d, a): %v", err)
+		}
+		if !bytes.Equal(gotB, b) {
+			t.Fatalf("XOR a→b: got %q, want %q", gotB, b)
+		}
+		gotA, err := ApplyXOR(d, b)
+		if err != nil {
+			t.Fatalf("ApplyXOR(d, b): %v", err)
+		}
+		if !bytes.Equal(gotA, a) {
+			t.Fatalf("XOR b→a: got %q, want %q", gotA, a)
+		}
+		// Robustness: arbitrary bytes as a delta must never panic.
+		_, _ = ApplyXOR(a, b)
+		_, _ = ApplyXOR(b, a)
+	})
+}
+
+// TestOneWayDecodeCannotUpgradeToTwoWay: re-encoding a one-way-decoded
+// delta (count-only hunks) as two-way must fail loudly at apply time —
+// the deleted content is gone, and silently skipping deletions would
+// corrupt data.
+func TestOneWayDecodeCannotUpgradeToTwoWay(t *testing.T) {
+	a := []byte("a\nb\nc\n")
+	b := []byte("a\nc\n") // deletes line "b"
+	d := DiffLines(a, b)
+	d1, oneWay, err := Decode(Encode(d, true))
+	if err != nil || !oneWay {
+		t.Fatalf("Decode(one-way): %v (oneWay=%v)", err, oneWay)
+	}
+	reenc := Encode(d1, false)
+	if _, err := ApplyEncoded(reenc, a); err == nil {
+		t.Fatal("two-way re-encode of a count-only delta applied silently; want a context-check error")
+	}
+}

@@ -16,11 +16,25 @@ import (
 
 // Hunk is one contiguous modification: at line SrcPos of the source
 // (0-based, in the original coordinate space), Del lines are removed and
-// Ins lines are inserted.
+// Ins lines are inserted. Hunks decoded from a one-way encoding carry no
+// deleted content — only DelCount survives (the count of source lines the
+// hunk consumes); for every other hunk DelCount is 0 and len(Del) is
+// authoritative. Use NumDel for the count regardless of origin.
 type Hunk struct {
-	SrcPos int
-	Del    []string
-	Ins    []string
+	SrcPos   int
+	Del      []string
+	DelCount int
+	Ins      []string
+}
+
+// NumDel returns the number of source lines this hunk deletes, whether
+// the hunk carries their content (Del) or only their count (DelCount,
+// one-way decodes).
+func (h *Hunk) NumDel() int {
+	if h.Del != nil {
+		return len(h.Del)
+	}
+	return h.DelCount
 }
 
 // LineDelta is a line-based edit script transforming a source byte slice
@@ -217,7 +231,10 @@ func (d *LineDelta) Apply(src []byte) ([]byte, error) {
 		}
 		out = append(out, lines[pos:h.SrcPos]...)
 		pos = h.SrcPos
-		if pos+len(h.Del) > len(lines) {
+		// NumDel keeps count-only hunks (one-way decodes) consuming the
+		// right number of source lines; the content context check below
+		// naturally covers only hunks that carry content.
+		if pos+h.NumDel() > len(lines) {
 			return nil, fmt.Errorf("delta: hunk %d deletes past end of source", hi)
 		}
 		for i, dl := range h.Del {
@@ -225,7 +242,7 @@ func (d *LineDelta) Apply(src []byte) ([]byte, error) {
 				return nil, fmt.Errorf("delta: hunk %d context mismatch at line %d", hi, pos+i)
 			}
 		}
-		pos += len(h.Del)
+		pos += h.NumDel()
 		out = append(out, h.Ins...)
 	}
 	out = append(out, lines[pos:]...)
@@ -233,7 +250,10 @@ func (d *LineDelta) Apply(src []byte) ([]byte, error) {
 }
 
 // Invert returns the delta transforming b back into a (swap of Del/Ins with
-// positions mapped into b's coordinate space).
+// positions mapped into b's coordinate space). Inversion requires deleted
+// content, so it is only meaningful for deltas that carry it (fresh
+// DiffLines output or a two-way decode) — a one-way decode's count-only
+// hunks have no content to re-insert.
 func (d *LineDelta) Invert() *LineDelta {
 	inv := &LineDelta{Hunks: make([]Hunk, len(d.Hunks))}
 	shift := 0 // cumulative (ins - del) so far: position adjustment into b
@@ -243,7 +263,7 @@ func (d *LineDelta) Invert() *LineDelta {
 			Del:    append([]string(nil), h.Ins...),
 			Ins:    append([]string(nil), h.Del...),
 		}
-		shift += len(h.Ins) - len(h.Del)
+		shift += len(h.Ins) - h.NumDel()
 	}
 	return inv
 }
@@ -282,8 +302,8 @@ func (d *LineDelta) SizeOneWay() int {
 // NumEdits returns the total number of deleted plus inserted lines.
 func (d *LineDelta) NumEdits() int {
 	n := 0
-	for _, h := range d.Hunks {
-		n += len(h.Del) + len(h.Ins)
+	for i := range d.Hunks {
+		n += d.Hunks[i].NumDel() + len(d.Hunks[i].Ins)
 	}
 	return n
 }

@@ -40,18 +40,22 @@ func ApplyXOR(d, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("delta: corrupt XOR header")
 	}
 	body := d[n1+n2:]
-	var outLen int
+	// Resolve the output length in uint64 — corrupt headers can carry
+	// values that overflow int — and bound it by the real body before
+	// converting.
+	var outLen64 uint64
 	switch uint64(len(src)) {
 	case la:
-		outLen = int(lb)
+		outLen64 = lb
 	case lb:
-		outLen = int(la)
+		outLen64 = la
 	default:
 		return nil, fmt.Errorf("delta: XOR source length %d matches neither side (%d, %d)", len(src), la, lb)
 	}
-	if outLen > len(body) {
-		return nil, fmt.Errorf("delta: XOR body too short: %d < %d", len(body), outLen)
+	if outLen64 > uint64(len(body)) {
+		return nil, fmt.Errorf("delta: XOR body too short: %d < %d", len(body), outLen64)
 	}
+	outLen := int(outLen64)
 	out := make([]byte, outLen)
 	for i := range out {
 		var s byte

@@ -1,0 +1,286 @@
+// Package jobs runs storage optimizations in the background. The paper's
+// serving loop is "answer checkouts while periodically re-solving the
+// storage/recreation trade-off"; a long LMG or exact solve must therefore
+// never sit between a client and its data. A Manager accepts a
+// solve.Request together with a Runner (typically a closure over
+// repo.Optimize's copy-on-write path), returns a job id immediately, and
+// executes at most `workers` jobs concurrently. Clients poll or wait on
+// the id, observe progress phases, and cancel by id; cancellation flows
+// through the job's context into the solver and surfaces as the normal
+// solve.ErrCanceled sentinel.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"versiondb/internal/solve"
+)
+
+// State is a job's lifecycle position. Transitions are strictly forward:
+//
+//	pending → running → done | failed | canceled
+//	pending → canceled            (canceled before a worker slot freed)
+type State string
+
+const (
+	// StatePending: accepted, waiting for a worker slot.
+	StatePending State = "pending"
+	// StateRunning: the runner is executing.
+	StateRunning State = "running"
+	// StateDone: the runner returned a result.
+	StateDone State = "done"
+	// StateFailed: the runner returned a non-cancellation error.
+	StateFailed State = "failed"
+	// StateCanceled: canceled before running, or the runner returned
+	// solve.ErrCanceled / context.Canceled after a Cancel.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors.
+var (
+	// ErrUnknownJob marks a reference to a job id the manager never issued.
+	ErrUnknownJob = errors.New("unknown job")
+	// ErrClosed marks a Submit against a closed manager.
+	ErrClosed = errors.New("job manager closed")
+)
+
+// Runner executes one job under ctx. Implementations should report
+// coarse-grained phases through progress (which is safe for concurrent use
+// and never nil) and honor ctx promptly — Cancel relies on it.
+type Runner func(ctx context.Context, progress func(phase string)) (*solve.Result, error)
+
+// Snapshot is a race-free copy of a job's externally visible state.
+type Snapshot struct {
+	ID      string        `json:"id"`
+	State   State         `json:"state"`
+	Request solve.Request `json:"request"`
+	// Phase is the runner's most recent progress report ("solve", "swap",
+	// ...); empty until the job runs.
+	Phase    string    `json:"phase,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Result is set once State == StateDone.
+	Result *solve.Result `json:"result,omitempty"`
+	// Err is the failure or cancellation message (failed/canceled states).
+	Err string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the snapshot's state is final.
+func (s Snapshot) Terminal() bool { return s.State.Terminal() }
+
+// job is the manager's internal record; mu (the manager's) guards every
+// mutable field.
+type job struct {
+	snap   Snapshot
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal transition
+}
+
+// Manager owns a bounded pool of background jobs. The zero value is not
+// usable; construct with NewManager.
+type Manager struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for List
+	sem    chan struct{}
+	nextID int
+	closed bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// DefaultWorkers bounds concurrent jobs when NewManager is given n ≤ 0.
+const DefaultWorkers = 2
+
+// NewManager returns a manager executing at most workers jobs at once
+// (DefaultWorkers when workers ≤ 0); excess submissions queue as pending.
+func NewManager(workers int) *Manager {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		jobs:       map[string]*job{},
+		sem:        make(chan struct{}, workers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+}
+
+// Submit registers run under a fresh job id and returns the pending
+// snapshot without waiting for execution. req is descriptive metadata
+// echoed in snapshots (the runner closure does the actual solving).
+func (m *Manager) Submit(req solve.Request, run Runner) (Snapshot, error) {
+	if run == nil {
+		return Snapshot{}, fmt.Errorf("jobs: submit: nil runner")
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("jobs: submit: %w", ErrClosed)
+	}
+	m.nextID++
+	id := fmt.Sprintf("j%d", m.nextID)
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &job{
+		snap: Snapshot{
+			ID:      id,
+			State:   StatePending,
+			Request: req,
+			Created: time.Now().UTC(),
+		},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	snap := j.snap
+	m.mu.Unlock()
+
+	go m.execute(ctx, j, run)
+	return snap, nil
+}
+
+// execute drives one job through its lifecycle.
+func (m *Manager) execute(ctx context.Context, j *job, run Runner) {
+	defer m.wg.Done()
+	defer j.cancel()
+	// Wait for a worker slot; a cancel while pending skips execution. When
+	// both a free slot and a dead context are ready, select picks randomly
+	// — so re-check the context after acquiring, keeping the documented
+	// guarantee that a job canceled while pending never runs.
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		m.finish(j, nil, fmt.Errorf("%w: canceled while pending", solve.ErrCanceled))
+		return
+	}
+	if ctx.Err() != nil {
+		m.finish(j, nil, fmt.Errorf("%w: canceled while pending", solve.ErrCanceled))
+		return
+	}
+	m.mu.Lock()
+	j.snap.State = StateRunning
+	j.snap.Started = time.Now().UTC()
+	m.mu.Unlock()
+	progress := func(phase string) {
+		m.mu.Lock()
+		j.snap.Phase = phase
+		m.mu.Unlock()
+	}
+	res, err := run(ctx, progress)
+	m.finish(j, res, err)
+}
+
+// finish records the terminal state. Cancellation errors (from either the
+// solver sentinel or the raw context) map to StateCanceled so the HTTP
+// layer can render them with the same semantics as a disconnect-canceled
+// synchronous optimize.
+func (m *Manager) finish(j *job, res *solve.Result, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.snap.Finished = time.Now().UTC()
+	switch {
+	case err == nil:
+		j.snap.State = StateDone
+		j.snap.Result = res
+	case errors.Is(err, solve.ErrCanceled), errors.Is(err, context.Canceled):
+		j.snap.State = StateCanceled
+		j.snap.Err = err.Error()
+	default:
+		j.snap.State = StateFailed
+		j.snap.Err = err.Error()
+	}
+	close(j.done)
+}
+
+// get looks a job up; callers must not hold mu.
+func (m *Manager) get(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("jobs: %w %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Get returns the current snapshot of the job.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.snap, nil
+}
+
+// List returns snapshots of every job in submission order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].snap)
+	}
+	return out
+}
+
+// Cancel requests cancellation of the job and returns its (possibly not
+// yet terminal) snapshot. Canceling a finished job — including one already
+// canceled — is an idempotent no-op; only an unknown id is an error.
+func (m *Manager) Cancel(id string) (Snapshot, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	j.cancel()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.snap, nil
+}
+
+// Wait blocks until the job reaches a terminal state (returning its final
+// snapshot), or ctx is done (returning the context's error).
+func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return j.snap, nil
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Close cancels every live job, waits for their runners to return, and
+// rejects further submissions. It is safe to call more than once.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}

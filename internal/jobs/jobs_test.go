@@ -1,0 +1,245 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"versiondb/internal/solve"
+)
+
+// immediate returns a runner that finishes instantly with res.
+func immediate(res *solve.Result) Runner {
+	return func(ctx context.Context, progress func(string)) (*solve.Result, error) {
+		progress("solve")
+		return res, nil
+	}
+}
+
+// gated returns a runner that signals entry on started and then blocks
+// until release is closed or ctx fires.
+func gated(started chan<- string, release <-chan struct{}) Runner {
+	return func(ctx context.Context, progress func(string)) (*solve.Result, error) {
+		started <- "running"
+		select {
+		case <-release:
+			return &solve.Result{Solver: "gated"}, nil
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", solve.ErrCanceled, context.Cause(ctx))
+		}
+	}
+}
+
+func waitDone(t *testing.T, m *Manager, id string) Snapshot {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", id, err)
+	}
+	return snap
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+	want := &solve.Result{Solver: "mst"}
+	snap, err := m.Submit(solve.Request{Solver: "mst"}, immediate(want))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if snap.State != StatePending {
+		t.Errorf("initial state %q, want pending", snap.State)
+	}
+	final := waitDone(t, m, snap.ID)
+	if final.State != StateDone {
+		t.Fatalf("state %q (err %q), want done", final.State, final.Err)
+	}
+	if final.Result != want {
+		t.Errorf("result %+v, want the runner's", final.Result)
+	}
+	if final.Phase != "solve" {
+		t.Errorf("phase %q, want solve", final.Phase)
+	}
+	if final.Request.Solver != "mst" {
+		t.Errorf("request solver %q not echoed", final.Request.Solver)
+	}
+	if final.Started.IsZero() || final.Finished.IsZero() {
+		t.Errorf("timestamps missing: %+v", final)
+	}
+}
+
+func TestBoundedConcurrencyQueuesPending(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	first, err := m.Submit(solve.Request{}, gated(started, release))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started // first job occupies the only worker
+	second, err := m.Submit(solve.Request{}, gated(started, release))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	snap, err := m.Get(second.ID)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if snap.State != StatePending {
+		t.Errorf("second job state %q while worker busy, want pending", snap.State)
+	}
+	close(release)
+	<-started // second job runs only after the first released its slot
+	if s := waitDone(t, m, first.ID); s.State != StateDone {
+		t.Errorf("first job %q, want done", s.State)
+	}
+	if s := waitDone(t, m, second.ID); s.State != StateDone {
+		t.Errorf("second job %q, want done", s.State)
+	}
+}
+
+func TestCancelPendingNeverRuns(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	blocker, err := m.Submit(solve.Request{}, gated(started, release))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	ran := false
+	pending, err := m.Submit(solve.Request{}, func(ctx context.Context, _ func(string)) (*solve.Result, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := m.Cancel(pending.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final := waitDone(t, m, pending.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state %q, want canceled", final.State)
+	}
+	if ran {
+		t.Errorf("canceled pending job still ran")
+	}
+	_ = blocker
+}
+
+func TestCancelRunningSurfacesErrCanceled(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+	started := make(chan string, 1)
+	job, err := m.Submit(solve.Request{}, gated(started, nil))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if _, err := m.Cancel(job.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final := waitDone(t, m, job.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state %q, want canceled", final.State)
+	}
+	if final.Err == "" {
+		t.Errorf("canceled job carries no error message")
+	}
+	// Duplicate cancel is an idempotent no-op.
+	snap, err := m.Cancel(job.ID)
+	if err != nil {
+		t.Fatalf("second Cancel: %v", err)
+	}
+	if snap.State != StateCanceled {
+		t.Errorf("second Cancel state %q, want canceled", snap.State)
+	}
+}
+
+func TestUnknownJobSentinel(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+	if _, err := m.Get("j404"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Get: %v, want ErrUnknownJob", err)
+	}
+	if _, err := m.Cancel("j404"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Cancel: %v, want ErrUnknownJob", err)
+	}
+	if _, err := m.Wait(context.Background(), "j404"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Wait: %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestRunnerErrorMarksFailed(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+	boom := errors.New("solver exploded")
+	job, err := m.Submit(solve.Request{}, func(ctx context.Context, _ func(string)) (*solve.Result, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitDone(t, m, job.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state %q, want failed", final.State)
+	}
+	if final.Err != boom.Error() {
+		t.Errorf("err %q, want %q", final.Err, boom)
+	}
+}
+
+func TestListPreservesSubmissionOrder(t *testing.T) {
+	m := NewManager(2)
+	defer m.Close()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		snap, err := m.Submit(solve.Request{}, immediate(nil))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, m, id)
+	}
+	list := m.List()
+	if len(list) != len(ids) {
+		t.Fatalf("List returned %d jobs, want %d", len(list), len(ids))
+	}
+	for i, snap := range list {
+		if snap.ID != ids[i] {
+			t.Errorf("List[%d] = %s, want %s", i, snap.ID, ids[i])
+		}
+	}
+}
+
+func TestCloseCancelsLiveJobsAndRejectsSubmit(t *testing.T) {
+	m := NewManager(1)
+	started := make(chan string, 1)
+	job, err := m.Submit(solve.Request{}, gated(started, nil))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	m.Close()
+	snap, err := m.Get(job.ID)
+	if err != nil {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if snap.State != StateCanceled {
+		t.Errorf("state after Close %q, want canceled", snap.State)
+	}
+	if _, err := m.Submit(solve.Request{}, immediate(nil)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close: %v, want ErrClosed", err)
+	}
+	m.Close() // idempotent
+}

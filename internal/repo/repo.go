@@ -7,9 +7,13 @@
 //
 // A Repo is a concurrency-safe service: readers (Checkout, Log, Stats,
 // Tip, Branches) proceed in parallel under a read lock while writers
-// (Commit, Merge, Branch, Optimize, Repack) serialize behind the write
-// lock. The physical layer is a pluggable store.Backend; metadata is
-// persisted atomically through the backend's MetaStore.
+// (Commit, Merge, Branch, Repack) serialize behind the write lock.
+// Optimize is copy-on-write: it snapshots under a short read lock, solves
+// and materializes a shadow layout off-lock, and swaps the layout pointer
+// under a brief write lock with a conflict check — so re-layouts never
+// block checkouts for the duration of a solve. The physical layer is a
+// pluggable store.Backend; metadata is persisted atomically through the
+// backend's MetaStore.
 package repo
 
 import (
@@ -20,6 +24,7 @@ import (
 	"io/fs"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"versiondb/internal/costs"
@@ -42,6 +47,10 @@ var (
 	ErrEmptyRepo = errors.New("empty repository")
 	// ErrInvalidMerge marks a merge whose parents cannot form a commit.
 	ErrInvalidMerge = errors.New("invalid merge")
+	// ErrOptimizeConflict marks an Optimize whose copy-on-write layout swap
+	// kept losing to concurrent commits: every attempt found new versions
+	// committed after its snapshot, and the bounded retries ran out.
+	ErrOptimizeConflict = errors.New("optimize conflicted with concurrent commits")
 )
 
 // VersionInfo records one committed dataset version.
@@ -70,6 +79,14 @@ type Repo struct {
 	layout    *store.Layout
 	meta      meta
 	cacheSize int // checkout LRU capacity, re-applied after Optimize
+
+	// optMu serializes Optimize calls with each other (never with readers
+	// or committers): two re-layouts racing to swap would silently discard
+	// one solve's work.
+	optMu sync.Mutex
+	// optConflicts counts copy-on-write swap attempts that found commits
+	// landed mid-solve and had to re-snapshot.
+	optConflicts atomic.Int64
 }
 
 // DefaultBranch is the branch created by Init.
@@ -465,6 +482,15 @@ type OptimizeOptions struct {
 	RevealHops int
 	// Compress stores blobs flate-compressed.
 	Compress bool
+	// ConflictRetries bounds how many times Optimize re-snapshots and
+	// re-solves after its copy-on-write swap loses to concurrent commits.
+	// 0 means the default of 2; negative disables retries.
+	ConflictRetries int
+	// Progress, when non-nil, receives coarse phase names as the
+	// optimization advances ("snapshot", "diff", "solve", "rewrite",
+	// "swap", "retry"). It is called without any repository lock held and
+	// must be safe for use from the optimizing goroutine.
+	Progress func(phase string)
 }
 
 // solveRequest resolves opts into a fully-parameterized solve.Request
@@ -472,7 +498,9 @@ type OptimizeOptions struct {
 // from BudgetFactor × minimum storage, max-Φ bounds from twice the largest
 // version size, Σ-Φ bounds from 1.25× the SPT minimum, α from 2. Unknown
 // solver names (or objective values) surface solve.ErrUnknownSolver.
-func (r *Repo) solveRequest(inst *solve.Instance, opts OptimizeOptions) (solve.Request, error) {
+// versions is the snapshot being optimized — not r.meta — so the request is
+// consistent with the payloads even when commits land mid-solve.
+func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOptions) (solve.Request, error) {
 	req := opts.Request
 	if req.Theta <= 0 {
 		req.Theta = opts.Theta
@@ -504,7 +532,7 @@ func (r *Repo) solveRequest(inst *solve.Instance, opts OptimizeOptions) (solve.R
 	case solve.KnobThetaMax:
 		if req.Theta <= 0 {
 			var maxSize float64
-			for _, v := range r.meta.Versions {
+			for _, v := range versions {
 				if s := float64(v.Size); s > maxSize {
 					maxSize = s
 				}
@@ -527,42 +555,99 @@ func (r *Repo) solveRequest(inst *solve.Instance, opts OptimizeOptions) (solve.R
 	return req, nil
 }
 
-// Optimize recomputes the global storage layout: it checks out every
-// version, differences versions within the hop radius, builds the augmented
-// graph, dispatches the resolved solve.Request through the solver registry,
-// and rewrites the physical layout accordingly. It returns the solution
+// Optimize recomputes the global storage layout copy-on-write: it snapshots
+// the version graph and every payload under a short read lock, then — off
+// every lock, with checkouts and commits proceeding concurrently —
+// differences versions within the hop radius, builds the augmented graph,
+// dispatches the resolved solve.Request through the solver registry, and
+// materializes a shadow layout into the backend. Finally it reacquires the
+// write lock just long enough to verify no commits landed since the
+// snapshot and swap the layout pointer; the checkout cache restarts empty
+// at its configured capacity. If commits did land mid-solve the attempt is
+// discarded and the whole pipeline re-runs from a fresh snapshot, up to
+// ConflictRetries times, after which ErrOptimizeConflict is returned.
+//
+// Optimize calls serialize with each other (a second Optimize waits, it
+// does not race the swap) but never with readers. It returns the solution
 // chosen (a solve.Result carrying the registry solver name and optimality
-// metadata). Readers are blocked for the duration; the checkout cache
-// restarts empty at the same capacity. Canceling ctx aborts the solve (the
-// layout is left untouched) with solve.ErrCanceled.
+// metadata). Canceling ctx aborts the solve with solve.ErrCanceled; the
+// served layout is never left half-swapped — shadow blobs already written
+// to the content-addressed backend are simply unreferenced.
 func (r *Repo) Optimize(ctx context.Context, opts OptimizeOptions) (*solve.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := len(r.meta.Versions)
-	if n == 0 {
-		return nil, fmt.Errorf("repo: optimize: %w", ErrEmptyRepo)
+	progress := opts.Progress
+	if progress == nil {
+		progress = func(string) {}
 	}
-	// The checkout and pairwise-differencing phases below dominate large
-	// optimizes, so cancellation is checked throughout — not only inside
-	// the solver — to release the write lock promptly.
-	payloads := make([][]byte, n)
-	for v := 0; v < n; v++ {
-		if err := ctx.Err(); err != nil {
-			return nil, optimizeCanceled(err)
-		}
-		var err error
-		if payloads[v], err = r.checkoutLocked(v); err != nil {
+	retries := opts.ConflictRetries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
+	}
+	r.optMu.Lock()
+	defer r.optMu.Unlock()
+	for attempt := 0; ; attempt++ {
+		res, err := r.optimizeOnce(ctx, opts, progress)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, ErrOptimizeConflict) && attempt < retries:
+			r.optConflicts.Add(1)
+			progress("retry")
+			continue
+		case errors.Is(err, ErrOptimizeConflict):
+			r.optConflicts.Add(1)
+			return nil, err
+		default:
 			return nil, err
 		}
 	}
+}
+
+// OptimizeConflicts returns the cumulative number of copy-on-write swap
+// attempts that lost to concurrent commits (whether or not a retry later
+// succeeded).
+func (r *Repo) OptimizeConflicts() int64 { return r.optConflicts.Load() }
+
+// optimizeOnce runs one snapshot → solve → swap attempt; the caller holds
+// optMu.
+func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress func(string)) (*solve.Result, error) {
+	// Phase 1 — snapshot under a read lock held only long enough to copy
+	// the version records and the layout's entry table. Payloads are then
+	// materialized off-lock against the snapshot (entries are immutable
+	// and blobs content-addressed), bypassing the checkout cache so the
+	// bulk scan cannot evict the serving hot set — and so a writer queued
+	// behind the RWMutex never convoys new readers behind a long scan.
+	progress("snapshot")
+	r.mu.RLock()
+	n := len(r.meta.Versions)
+	if n == 0 {
+		r.mu.RUnlock()
+		return nil, fmt.Errorf("repo: optimize: %w", ErrEmptyRepo)
+	}
+	versions := append([]VersionInfo(nil), r.meta.Versions...)
+	view := r.layout.Snapshot()
+	r.mu.RUnlock()
+	payloads, err := view.CheckoutAll(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, optimizeCanceled(err)
+		}
+		return nil, err
+	}
+
+	// Phase 2 — still off-lock: differencing, solving, and materializing
+	// the shadow layout. This is the expensive part, and nothing here
+	// touches served state; commits and checkouts proceed freely.
 	hops := opts.RevealHops
 	if hops <= 0 {
 		hops = 5
 	}
-	m, err := r.costMatrix(ctx, payloads, hops)
+	progress("diff")
+	m, err := costMatrix(ctx, versions, payloads, hops)
 	if err != nil {
 		return nil, err
 	}
@@ -570,21 +655,41 @@ func (r *Repo) Optimize(ctx context.Context, opts OptimizeOptions) (*solve.Resul
 	if err != nil {
 		return nil, err
 	}
-	req, err := r.solveRequest(inst, opts)
+	req, err := solveRequest(inst, versions, opts)
 	if err != nil {
 		return nil, err
 	}
+	progress("solve")
 	res, err := solve.Solve(ctx, inst, req)
 	if err != nil {
 		return nil, err
 	}
+	progress("rewrite")
 	newLayout, err := store.BuildLayout(r.backend, payloads, res.Tree, opts.Compress)
 	if err != nil {
 		return nil, err
 	}
+
+	// Phase 3 — swap under a brief write lock, but only if the snapshot is
+	// still current. Version ids are append-only indices, so an unchanged
+	// count means an unchanged graph.
+	progress("swap")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.meta.Versions) != n {
+		return nil, fmt.Errorf("repo: optimize: %d versions committed during solve: %w",
+			len(r.meta.Versions)-n, ErrOptimizeConflict)
+	}
 	newLayout.SetCache(store.NewVersionCache(r.cacheSize))
+	oldLayout := r.layout
 	r.layout = newLayout
-	return res, r.save()
+	if err := r.save(); err != nil {
+		// Keep served state consistent with what was last persisted, as
+		// addVersion does: an unpersisted swap must not be published.
+		r.layout = oldLayout
+		return nil, err
+	}
+	return res, nil
 }
 
 // optimizeCanceled normalizes a context cancellation during Optimize's own
@@ -595,15 +700,16 @@ func optimizeCanceled(cause error) error {
 
 // costMatrix differences all versions within the hop radius of the version
 // graph, producing directed one-way delta costs; ctx is checked once per
-// source version.
-func (r *Repo) costMatrix(ctx context.Context, payloads [][]byte, hops int) (*costs.Matrix, error) {
+// source version. It operates on a snapshot (versions, payloads) so it can
+// run without holding the repository lock.
+func costMatrix(ctx context.Context, versions []VersionInfo, payloads [][]byte, hops int) (*costs.Matrix, error) {
 	n := len(payloads)
 	m := costs.NewMatrix(n, true)
 	for v := 0; v < n; v++ {
 		m.SetFull(v, float64(len(payloads[v])), float64(len(payloads[v])))
 	}
 	adj := make([][]int, n)
-	for _, v := range r.meta.Versions {
+	for _, v := range versions {
 		for _, p := range v.Parents {
 			adj[p] = append(adj[p], v.ID)
 			adj[v.ID] = append(adj[v.ID], p)

@@ -1,0 +1,82 @@
+// Package solvetest provides deterministic solver doubles for concurrency
+// harnesses. The copy-on-write Optimize tests (internal/repo) and the
+// background-job HTTP tests (internal/vcs) both need "the solver is
+// running right now" as a program point rather than a sleep; Gate gives
+// them one shared, race-safe implementation.
+package solvetest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"versiondb/internal/solve"
+)
+
+// Gate is a registry solver that, while armed, signals entry into Solve
+// and then blocks until released (or its context is canceled) before
+// delegating to MST. Unarmed it behaves as plain MST. Register one per
+// test binary:
+//
+//	var gate = solvetest.NewGate("gate")
+//	func init() { solve.Register(gate) }
+type Gate struct {
+	name    string
+	mu      sync.Mutex
+	started chan struct{} // receives one token per Solve entry
+	release chan struct{} // closed by the test to let Solve proceed
+}
+
+// NewGate returns an unarmed gate registering under name.
+func NewGate(name string) *Gate { return &Gate{name: name} }
+
+// Arm installs fresh channels and returns them. started is buffered so
+// retried solves never block on signaling; close release to let every
+// blocked (and future) Solve proceed.
+func (g *Gate) Arm() (started <-chan struct{}, release chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.started = make(chan struct{}, 16)
+	g.release = make(chan struct{})
+	return g.started, g.release
+}
+
+// Disarm returns the gate to pass-through MST behavior.
+func (g *Gate) Disarm() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.started, g.release = nil, nil
+}
+
+// Info implements solve.Solver.
+func (g *Gate) Info() solve.Info {
+	return solve.Info{Name: g.name, Algorithm: "test gate over MST", Problem: "test",
+		Objective: "block until released"}
+}
+
+// Validate implements solve.Solver; every request is acceptable.
+func (g *Gate) Validate(*solve.Instance, solve.Request) error { return nil }
+
+// Solve implements solve.Solver: signal entry, hold until released or
+// canceled, then return the MST solution under the gate's name.
+func (g *Gate) Solve(ctx context.Context, inst *solve.Instance, req solve.Request) (*solve.Result, error) {
+	g.mu.Lock()
+	started, release := g.started, g.release
+	g.mu.Unlock()
+	if started != nil {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", solve.ErrCanceled, context.Cause(ctx))
+		}
+	}
+	s, err := solve.MinStorage(inst)
+	if err != nil {
+		return nil, err
+	}
+	return &solve.Result{Solution: s, Solver: g.name}, nil
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync/atomic"
@@ -151,6 +152,74 @@ func (l *Layout) blobOf(v int) ([]byte, error) {
 		}
 	}
 	return blob, nil
+}
+
+// Snapshot returns a cache-free view over the layout's current entries,
+// sharing the backend and the (immutable, content-addressed) blobs. The
+// entry slice is capacity-capped, so appends to the live layout never leak
+// into the view: readers of the snapshot are isolated from concurrent
+// commits. Optimize materializes its payloads against a snapshot so the
+// bulk scan runs without any repository lock and without evicting the
+// serving cache's hot set.
+func (l *Layout) Snapshot() *Layout {
+	n := len(l.Entries)
+	return &Layout{backend: l.backend, Entries: l.Entries[:n:n]}
+}
+
+// CheckoutAll materializes every version, memoizing intermediate chain
+// nodes so each delta is applied at most once (O(total entries) work,
+// versus O(n × chain) for n independent Checkouts). It bypasses the cache
+// entirely and does not count toward DeltaApplications — it is bulk-scan
+// machinery (Optimize snapshots), not serving-path work. ctx is checked
+// once per version; cancellation returns ctx.Err().
+func (l *Layout) CheckoutAll(ctx context.Context) ([][]byte, error) {
+	n := len(l.Entries)
+	out := make([][]byte, n)
+	for v := 0; v < n; v++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if out[v] != nil {
+			continue
+		}
+		// Walk up to the nearest already-materialized ancestor.
+		var chain []int
+		u := v
+		for {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("store: checkout-all: version %d chains to %d out of range", v, u)
+			}
+			if out[u] != nil || l.Entries[u].Materialized {
+				break
+			}
+			chain = append(chain, u)
+			u = l.Entries[u].Parent
+			if len(chain) > n {
+				return nil, fmt.Errorf("store: delta chain cycle at version %d", v)
+			}
+		}
+		cur := out[u]
+		if cur == nil { // u is materialized but not yet loaded
+			blob, err := l.blobOf(u)
+			if err != nil {
+				return nil, err
+			}
+			cur = blob
+			out[u] = cur
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			w := chain[i]
+			blob, err := l.blobOf(w)
+			if err != nil {
+				return nil, err
+			}
+			if cur, err = delta.ApplyEncoded(blob, cur); err != nil {
+				return nil, fmt.Errorf("store: checkout-all %d: applying delta for %d: %w", v, w, err)
+			}
+			out[w] = cur
+		}
+	}
+	return out, nil
 }
 
 // CheckoutWork returns the total stored bytes read and applied to

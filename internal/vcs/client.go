@@ -44,7 +44,7 @@ func (c *Client) get(path string, resp any) error {
 }
 
 func decodeResponse(path string, httpResp *http.Response, resp any) error {
-	if httpResp.StatusCode != http.StatusOK {
+	if httpResp.StatusCode < 200 || httpResp.StatusCode > 299 {
 		se := &StatusError{Code: httpResp.StatusCode, Path: path}
 		var e ErrorResponse
 		if json.NewDecoder(httpResp.Body).Decode(&e) == nil {
@@ -99,10 +99,70 @@ func (c *Client) Log() ([]repo.VersionInfo, error) {
 	return resp.Versions, nil
 }
 
-// Optimize triggers a server-side storage re-layout.
+// Optimize triggers a server-side storage re-layout and blocks until it
+// finishes. The server's copy-on-write swap keeps checkouts unblocked
+// meanwhile.
 func (c *Client) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 	var resp OptimizeResponse
 	if err := c.post("/optimize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// OptimizeAsync queues a server-side re-layout as a background job and
+// returns its id immediately. Track it with Job, JobWait or Jobs; stop it
+// with CancelJob.
+func (c *Client) OptimizeAsync(req OptimizeRequest) (string, error) {
+	var resp OptimizeAcceptedResponse
+	if err := c.post("/optimize?async=1", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// Jobs lists every background job in submission order.
+func (c *Client) Jobs() ([]JobInfo, error) {
+	var resp JobsResponse
+	if err := c.get("/jobs", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Job fetches one job's current state.
+func (c *Client) Job(id string) (*JobInfo, error) {
+	var resp JobInfo
+	if err := c.get("/jobs/"+id, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// JobWait blocks server-side until the job reaches a terminal state and
+// returns that final snapshot.
+func (c *Client) JobWait(id string) (*JobInfo, error) {
+	var resp JobInfo
+	if err := c.get("/jobs/"+id+"?wait=1", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CancelJob requests server-side cancellation of a job; it is idempotent
+// on already-finished jobs and returns the job's snapshot at cancel time.
+func (c *Client) CancelJob(id string) (*JobInfo, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/jobs/"+id, nil)
+	if err != nil {
+		return nil, fmt.Errorf("vcs: cancel job: %w", err)
+	}
+	httpResp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("vcs: /jobs/%s: %w", id, err)
+	}
+	defer httpResp.Body.Close()
+	var resp JobInfo
+	if err := decodeResponse("/jobs/"+id, httpResp, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

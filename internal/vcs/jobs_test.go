@@ -1,0 +1,311 @@
+package vcs
+
+// End-to-end lifecycle tests for the background optimize job API: submit →
+// poll → done result parity with the synchronous path, server-side
+// cancellation mid-solve, idempotent duplicate cancel, 404s on unknown
+// ids, and the full error→status mapping table.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"versiondb/internal/jobs"
+	"versiondb/internal/repo"
+	"versiondb/internal/solve"
+	"versiondb/internal/solvetest"
+)
+
+// gate is this binary's controllable solver (shared implementation in
+// solvetest): armed, it blocks inside Solve until released or canceled,
+// then delegates to MST.
+var gate = solvetest.NewGate("gate")
+
+func init() { solve.Register(gate) }
+
+// newJobServer builds a server whose Close is hooked into test cleanup and
+// seeds it with n committed versions.
+func newJobServer(t *testing.T, n int, opts ...ServerOption) (*Client, [][]byte) {
+	t.Helper()
+	r, err := repo.Init(t.TempDir())
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	s := NewServer(r, opts...)
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := payload(t, int64(50+i), 25+i)
+		if _, err := c.Commit(repo.DefaultBranch, p, fmt.Sprintf("seed %d", i)); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+		payloads = append(payloads, p)
+	}
+	return c, payloads
+}
+
+func TestJobLifecycleMatchesSynchronousOptimize(t *testing.T) {
+	c, _ := newJobServer(t, 6)
+	req := OptimizeRequest{Solver: "mst"}
+
+	id, err := c.OptimizeAsync(req)
+	if err != nil {
+		t.Fatalf("OptimizeAsync: %v", err)
+	}
+	if id == "" {
+		t.Fatal("empty job id")
+	}
+	// Submit → poll: the job must be listed immediately.
+	info, err := c.Job(id)
+	if err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	if info.Solver != "mst" {
+		t.Errorf("job solver %q, want mst", info.Solver)
+	}
+	// Wait for completion server-side.
+	final, err := c.JobWait(id)
+	if err != nil {
+		t.Fatalf("JobWait: %v", err)
+	}
+	if final.State != string(jobs.StateDone) {
+		t.Fatalf("state %q (err %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("done job carries no result")
+	}
+	if final.Started.IsZero() || final.Finished.IsZero() {
+		t.Errorf("timestamps missing on finished job: %+v", final)
+	}
+
+	// The async result must match what the synchronous path returns for
+	// the same request on the same (unchanged) repository.
+	syncResp, err := c.Optimize(req)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	got, want := final.Result, syncResp
+	if got.Solver != want.Solver || got.Algorithm != want.Algorithm ||
+		got.Storage != want.Storage || got.SumR != want.SumR || got.MaxR != want.MaxR ||
+		got.StoredBytes != want.StoredBytes {
+		t.Errorf("async result %+v differs from synchronous %+v", got, want)
+	}
+
+	// The done job's result is frozen at completion: commits landing later
+	// must not change what GET /jobs/{id} reports.
+	if _, err := c.Commit(repo.DefaultBranch, []byte("z,w\n5,5\n6,6\n"), "after job"); err != nil {
+		t.Fatalf("Commit after job: %v", err)
+	}
+	later, err := c.Job(id)
+	if err != nil {
+		t.Fatalf("Job after commit: %v", err)
+	}
+	if later.Result == nil || later.Result.StoredBytes != final.Result.StoredBytes {
+		t.Errorf("job result drifted after a later commit: %+v, want StoredBytes %d frozen",
+			later.Result, final.Result.StoredBytes)
+	}
+}
+
+func TestJobCancelMidSolveReturnsCanceledState(t *testing.T) {
+	c, _ := newJobServer(t, 4)
+	started, release := gate.Arm()
+	defer gate.Disarm()
+	defer close(release)
+
+	id, err := c.OptimizeAsync(OptimizeRequest{Solver: "gate"})
+	if err != nil {
+		t.Fatalf("OptimizeAsync: %v", err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job's solver never started")
+	}
+	// Cancel while provably mid-solve.
+	if _, err := c.CancelJob(id); err != nil {
+		t.Fatalf("CancelJob: %v", err)
+	}
+	final, err := c.JobWait(id)
+	if err != nil {
+		t.Fatalf("JobWait: %v", err)
+	}
+	if final.State != string(jobs.StateCanceled) {
+		t.Fatalf("state %q, want canceled", final.State)
+	}
+	if !strings.Contains(final.Error, "canceled") {
+		t.Errorf("canceled job error %q does not surface the ErrCanceled sentinel", final.Error)
+	}
+	// Duplicate cancel is idempotent: same 200, same terminal state.
+	again, err := c.CancelJob(id)
+	if err != nil {
+		t.Fatalf("duplicate CancelJob: %v", err)
+	}
+	if again.State != string(jobs.StateCanceled) {
+		t.Errorf("duplicate cancel state %q, want canceled", again.State)
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	c, _ := newJobServer(t, 1)
+	if _, err := c.Job("j999"); !is404(err) {
+		t.Errorf("Job(j999): %v, want 404", err)
+	}
+	if _, err := c.CancelJob("j999"); !is404(err) {
+		t.Errorf("CancelJob(j999): %v, want 404", err)
+	}
+	if _, err := c.JobWait("j999"); !is404(err) {
+		t.Errorf("JobWait(j999): %v, want 404", err)
+	}
+}
+
+func is404(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusNotFound
+}
+
+func TestAsyncUnknownSolverRejectedBeforeQueueing(t *testing.T) {
+	c, _ := newJobServer(t, 1)
+	_, err := c.OptimizeAsync(OptimizeRequest{Solver: "no-such-solver"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("OptimizeAsync(bogus): %v, want 400", err)
+	}
+	list, err := c.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(list) != 0 {
+		t.Errorf("a doomed job was queued: %+v", list)
+	}
+}
+
+func TestJobsListInSubmissionOrder(t *testing.T) {
+	c, _ := newJobServer(t, 3)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := c.OptimizeAsync(OptimizeRequest{Solver: "mst"})
+		if err != nil {
+			t.Fatalf("OptimizeAsync %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := c.JobWait(id); err != nil {
+			t.Fatalf("JobWait(%s): %v", id, err)
+		}
+	}
+	list, err := c.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("listed %d jobs, want %d", len(list), len(ids))
+	}
+	for i, info := range list {
+		if info.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s", i, info.ID, ids[i])
+		}
+		if info.State != string(jobs.StateDone) {
+			t.Errorf("job %s state %q, want done", info.ID, info.State)
+		}
+	}
+}
+
+// TestCheckoutsUnblockedDuringAsyncJob is the HTTP-level half of the
+// acceptance criterion: with a job provably mid-solve, /checkout answers
+// before the solver is released.
+func TestCheckoutsUnblockedDuringAsyncJob(t *testing.T) {
+	c, payloads := newJobServer(t, 5)
+	started, release := gate.Arm()
+	defer gate.Disarm()
+
+	id, err := c.OptimizeAsync(OptimizeRequest{Solver: "gate"})
+	if err != nil {
+		t.Fatalf("OptimizeAsync: %v", err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job's solver never started")
+	}
+	const bound = 5 * time.Second
+	for v, want := range payloads {
+		type res struct {
+			b   []byte
+			err error
+		}
+		done := make(chan res, 1)
+		go func() {
+			b, err := c.Checkout(v)
+			done <- res{b, err}
+		}()
+		select {
+		case r := <-done:
+			if r.err != nil {
+				t.Fatalf("checkout %d mid-job: %v", v, r.err)
+			}
+			if !bytes.Equal(r.b, want) {
+				t.Errorf("checkout %d mid-job returned wrong content", v)
+			}
+		case <-time.After(bound):
+			t.Fatalf("checkout %d blocked > %v behind a running job", v, bound)
+		}
+	}
+	// Commits must also land mid-job (they conflict the swap; the job's
+	// bounded retry absorbs it).
+	if _, err := c.Commit(repo.DefaultBranch, []byte("mid,job\ncommit,1\n"), "mid-job"); err != nil {
+		t.Fatalf("Commit mid-job: %v", err)
+	}
+	close(release)
+	final, err := c.JobWait(id)
+	if err != nil {
+		t.Fatalf("JobWait: %v", err)
+	}
+	if final.State != string(jobs.StateDone) {
+		t.Fatalf("job state %q (err %q), want done after conflict retry", final.State, final.Error)
+	}
+}
+
+// TestStatusForMappings pins the full error→HTTP-status table, including
+// the job sentinels and the copy-on-write conflict.
+func TestStatusForMappings(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"unknown version", repo.ErrUnknownVersion, http.StatusNotFound},
+		{"unknown branch", repo.ErrUnknownBranch, http.StatusNotFound},
+		{"unknown job", jobs.ErrUnknownJob, http.StatusNotFound},
+		{"unknown solver", solve.ErrUnknownSolver, http.StatusBadRequest},
+		{"invalid request", solve.ErrInvalidRequest, http.StatusBadRequest},
+		{"branch exists", repo.ErrBranchExists, http.StatusConflict},
+		{"empty repo", repo.ErrEmptyRepo, http.StatusConflict},
+		{"invalid merge", repo.ErrInvalidMerge, http.StatusConflict},
+		{"infeasible", solve.ErrInfeasible, http.StatusConflict},
+		{"optimize conflict", repo.ErrOptimizeConflict, http.StatusConflict},
+		{"canceled", solve.ErrCanceled, StatusClientClosedRequest},
+		{"manager closed", jobs.ErrClosed, http.StatusServiceUnavailable},
+		{"unexpected", errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Both bare and wrapped forms must map identically.
+			if got := statusFor(tc.err); got != tc.want {
+				t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+			wrapped := fmt.Errorf("layer: %w", tc.err)
+			if got := statusFor(wrapped); got != tc.want {
+				t.Errorf("statusFor(wrapped %v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}

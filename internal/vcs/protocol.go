@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"versiondb/internal/repo"
 )
@@ -81,6 +82,38 @@ type OptimizeResponse struct {
 	SumR        float64 `json:"sum_recreation"`
 	MaxR        float64 `json:"max_recreation"`
 	StoredBytes int64   `json:"stored_bytes"`
+}
+
+// OptimizeAcceptedResponse answers POST /optimize?async=1: the re-layout
+// was queued as a background job. Poll GET /jobs/{job_id} (optionally with
+// ?wait=1 to block until terminal) or cancel with DELETE /jobs/{job_id}.
+type OptimizeAcceptedResponse struct {
+	JobID string `json:"job_id"`
+}
+
+// JobInfo is the wire form of one background optimize job.
+type JobInfo struct {
+	ID string `json:"id"`
+	// State is pending | running | done | failed | canceled.
+	State string `json:"state"`
+	// Solver is the registry solver the job runs.
+	Solver string `json:"solver"`
+	// Phase is the optimizer's last progress report ("snapshot", "diff",
+	// "solve", "rewrite", "swap", "retry"); empty until the job runs.
+	Phase    string    `json:"phase,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Result is present once State is done; it matches what the
+	// synchronous POST /optimize would have returned for the same request.
+	Result *OptimizeResponse `json:"result,omitempty"`
+	// Error is the failure or cancellation message for failed/canceled.
+	Error string `json:"error,omitempty"`
+}
+
+// JobsResponse lists every job in submission order.
+type JobsResponse struct {
+	Jobs []JobInfo `json:"jobs"`
 }
 
 // StatsResponse reports repository statistics.

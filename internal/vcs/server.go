@@ -1,27 +1,64 @@
 package vcs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
+	"versiondb/internal/jobs"
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
 )
 
 // Server serves one repository over HTTP. Concurrency control lives in the
-// repository itself (an RWMutex multi-reader service), so read endpoints
-// (/checkout, /log, /stats) proceed in parallel and serialize only against
-// write endpoints (/commit, /branch, /optimize) — the server adds no lock
-// layer of its own.
+// repository itself (an RWMutex multi-reader service with a copy-on-write
+// Optimize), so read endpoints (/checkout, /log, /stats, /jobs) proceed in
+// parallel and serialize only against write endpoints (/commit, /branch) —
+// the server adds no lock layer of its own. Long re-layouts run either
+// synchronously (POST /optimize, canceled by client disconnect) or as
+// background jobs (POST /optimize?async=1) managed by a bounded
+// jobs.Manager and steered through the /jobs endpoints.
 type Server struct {
 	repo *repo.Repo
+	jobs *jobs.Manager
+	// results holds each job's wire result, rendered once when the job's
+	// optimize completed (job id → *atomic.Pointer[OptimizeResponse]).
+	// Rendering at completion freezes StoredBytes at swap time — the same
+	// number the synchronous path reports — instead of re-reading live
+	// repository stats on every poll.
+	results sync.Map
 }
 
-// NewServer wraps a repository.
-func NewServer(r *repo.Repo) *Server { return &Server{repo: r} }
+// ServerOption configures NewServer.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	jobWorkers int
+}
+
+// WithJobWorkers bounds how many background optimize jobs run at once
+// (default jobs.DefaultWorkers); excess submissions queue as pending.
+func WithJobWorkers(n int) ServerOption {
+	return func(c *serverConfig) { c.jobWorkers = n }
+}
+
+// NewServer wraps a repository. Call Close when done to cancel any
+// background jobs still running.
+func NewServer(r *repo.Repo, opts ...ServerOption) *Server {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Server{repo: r, jobs: jobs.NewManager(cfg.jobWorkers)}
+}
+
+// Close cancels every live background job and waits for them to wind down.
+func (s *Server) Close() { s.jobs.Close() }
 
 // Handler returns the HTTP routing table.
 func (s *Server) Handler() http.Handler {
@@ -32,6 +69,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /log", s.handleLog)
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	return mux
 }
 
@@ -50,22 +90,28 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 // since nobody is usually listening).
 const StatusClientClosedRequest = 499
 
-// statusFor maps repository and solver errors to HTTP statuses: missing
-// versions and branches are 404, malformed optimize requests (unknown
-// solver name, invalid knobs) are 400, conflicts (duplicate branch, empty
-// repo, infeasible bound) are 409, client-disconnect cancellations are 499,
+// statusFor maps repository, solver and job errors to HTTP statuses:
+// missing versions, branches and job ids are 404, malformed optimize
+// requests (unknown solver name, invalid knobs) are 400, conflicts
+// (duplicate branch, empty repo, infeasible bound, a copy-on-write swap
+// that kept losing to concurrent commits) are 409, cancellations — whether
+// from a client disconnect or a server-side DELETE /jobs/{id} — are 499,
 // and only genuinely unexpected faults fall through to 500.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, repo.ErrUnknownVersion), errors.Is(err, repo.ErrUnknownBranch):
+	case errors.Is(err, repo.ErrUnknownVersion), errors.Is(err, repo.ErrUnknownBranch),
+		errors.Is(err, jobs.ErrUnknownJob):
 		return http.StatusNotFound
 	case errors.Is(err, solve.ErrUnknownSolver), errors.Is(err, solve.ErrInvalidRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, repo.ErrBranchExists), errors.Is(err, repo.ErrEmptyRepo),
-		errors.Is(err, repo.ErrInvalidMerge), errors.Is(err, solve.ErrInfeasible):
+		errors.Is(err, repo.ErrInvalidMerge), errors.Is(err, solve.ErrInfeasible),
+		errors.Is(err, repo.ErrOptimizeConflict):
 		return http.StatusConflict
 	case errors.Is(err, solve.ErrCanceled):
 		return StatusClientClosedRequest
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -125,26 +171,22 @@ func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, LogResponse{Versions: log})
 }
 
-// handleOptimize maps the request JSON onto a solve.Request and dispatches
-// through the repository into the solver registry under r.Context(), so a
-// client disconnect cancels a long-running solve instead of holding the
-// repository's write lock to completion.
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	var req OptimizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
-		return
-	}
+// optimizeOptions resolves the wire request into repository options,
+// surfacing unknown solver/objective names as ErrUnknownSolver.
+func optimizeOptions(req OptimizeRequest) (repo.OptimizeOptions, error) {
 	solver := req.Solver
 	if solver == "" {
 		name, err := repo.ObjectiveSolverName(req.Objective)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
+			return repo.OptimizeOptions{}, err
 		}
 		solver = name
+	} else if _, err := solve.Describe(solver); err != nil {
+		// Reject unknown names before anything is queued so the async path
+		// answers 400 synchronously instead of minting a doomed job.
+		return repo.OptimizeOptions{}, err
 	}
-	opts := repo.OptimizeOptions{
+	return repo.OptimizeOptions{
 		Request: solve.Request{
 			Solver: solver,
 			Budget: req.Budget,
@@ -155,20 +197,145 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		BudgetFactor: req.BudgetFactor,
 		RevealHops:   req.RevealHops,
 		Compress:     req.Compress,
-	}
-	res, err := s.repo.Optimize(r.Context(), opts)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, OptimizeResponse{
+	}, nil
+}
+
+// optimizeResponse renders a solve result with the repository's current
+// physical footprint.
+func (s *Server) optimizeResponse(res *solve.Result) *OptimizeResponse {
+	return &OptimizeResponse{
 		Solver:      res.Solver,
 		Algorithm:   res.Algorithm,
 		Storage:     res.Storage,
 		SumR:        res.SumR,
 		MaxR:        res.MaxR,
 		StoredBytes: s.repo.Stats().StoredBytes,
-	})
+	}
+}
+
+// boolParam interprets a truthy query flag (?async=1, ?wait=true, ...);
+// every boolean flag accepts the same spellings.
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// handleOptimize maps the request JSON onto a solve.Request and dispatches
+// through the repository's copy-on-write Optimize. Synchronously it runs
+// under r.Context(), so a client disconnect cancels a long-running solve;
+// with ?async=1 it queues a background job instead and answers 202 with
+// the job id immediately — readers stay unblocked either way, since the
+// solver never holds the repository write lock.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	opts, err := optimizeOptions(req)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	if boolParam(r, "async") {
+		// The holder outlives this request: the runner fills it when the
+		// optimize completes (possibly before Submit even returns), and
+		// jobInfo reads it when rendering the done job.
+		holder := new(atomic.Pointer[OptimizeResponse])
+		snap, err := s.jobs.Submit(opts.Request, func(ctx context.Context, progress func(string)) (*solve.Result, error) {
+			jobOpts := opts
+			jobOpts.Progress = progress
+			res, err := s.repo.Optimize(ctx, jobOpts)
+			if err == nil {
+				holder.Store(s.optimizeResponse(res))
+			}
+			return res, err
+		})
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		s.results.Store(snap.ID, holder)
+		writeJSON(w, http.StatusAccepted, OptimizeAcceptedResponse{JobID: snap.ID})
+		return
+	}
+	res, err := s.repo.Optimize(r.Context(), opts)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, *s.optimizeResponse(res))
+}
+
+// jobInfo renders a job snapshot onto the wire.
+func (s *Server) jobInfo(snap jobs.Snapshot) JobInfo {
+	info := JobInfo{
+		ID:       snap.ID,
+		State:    string(snap.State),
+		Solver:   snap.Request.Solver,
+		Phase:    snap.Phase,
+		Created:  snap.Created,
+		Started:  snap.Started,
+		Finished: snap.Finished,
+		Error:    snap.Err,
+	}
+	if snap.Result != nil {
+		if h, ok := s.results.Load(snap.ID); ok {
+			if r := h.(*atomic.Pointer[OptimizeResponse]).Load(); r != nil {
+				info.Result = r
+			}
+		}
+		if info.Result == nil {
+			// Only reachable in the instant between the job finishing and
+			// the submitting handler registering the holder.
+			info.Result = s.optimizeResponse(snap.Result)
+		}
+	}
+	return info
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	snaps := s.jobs.List()
+	resp := JobsResponse{Jobs: make([]JobInfo, 0, len(snaps))}
+	for _, snap := range snaps {
+		resp.Jobs = append(resp.Jobs, s.jobInfo(snap))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJob reports one job; with ?wait=1 it blocks (under the request
+// context) until the job reaches a terminal state.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var snap jobs.Snapshot
+	var err error
+	if boolParam(r, "wait") {
+		snap, err = s.jobs.Wait(r.Context(), id)
+	} else {
+		snap, err = s.jobs.Get(id)
+	}
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobInfo(snap))
+}
+
+// handleJobCancel requests server-side cancellation. The cancellation
+// reaches the solver through the job's context and resurfaces as the same
+// solve.ErrCanceled sentinel a client disconnect produces; the job lands
+// in the canceled state. Canceling an already-finished job is an
+// idempotent no-op; only an unknown id is an error (404).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobInfo(snap))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -72,6 +72,7 @@ import (
 	"context"
 
 	"versiondb/internal/costs"
+	"versiondb/internal/jobs"
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
 	"versiondb/internal/store"
@@ -240,8 +241,45 @@ func NewMemStore() *MemStore { return store.NewMemStore() }
 // OpenObjectStore creates (if needed) and opens a filesystem backend.
 func OpenObjectStore(dir string) (*ObjectStore, error) { return store.Open(dir) }
 
-// Repo is the prototype dataset version management system.
+// Repo is the prototype dataset version management system. Optimize is
+// copy-on-write: readers keep checking out while a re-layout solves, and
+// the new layout is swapped in under a brief write lock with a conflict
+// check against mid-solve commits (ErrOptimizeConflict after bounded
+// retries).
 type Repo = repo.Repo
+
+// ErrOptimizeConflict is returned by Repo.Optimize when its layout swap
+// kept losing to concurrent commits and the bounded retries ran out.
+var ErrOptimizeConflict = repo.ErrOptimizeConflict
+
+// JobManager runs background optimizations with bounded concurrency; the
+// HTTP server uses one for POST /optimize?async=1 and the /jobs API.
+type JobManager = jobs.Manager
+
+// JobSnapshot is a race-free copy of one background job's state.
+type JobSnapshot = jobs.Snapshot
+
+// JobState is a background job's lifecycle position.
+type JobState = jobs.State
+
+// JobRunner is the function a background job executes.
+type JobRunner = jobs.Runner
+
+// Background job states: pending → running → done | failed | canceled.
+const (
+	JobPending  = jobs.StatePending
+	JobRunning  = jobs.StateRunning
+	JobDone     = jobs.StateDone
+	JobFailed   = jobs.StateFailed
+	JobCanceled = jobs.StateCanceled
+)
+
+// ErrUnknownJob marks a reference to a job id the manager never issued.
+var ErrUnknownJob = jobs.ErrUnknownJob
+
+// NewJobManager returns a manager executing at most workers jobs at once
+// (≤ 0 selects the default).
+func NewJobManager(workers int) *JobManager { return jobs.NewManager(workers) }
 
 // VersionInfo is one committed version's record.
 type VersionInfo = repo.VersionInfo

@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	vbench -exp solvers|fig12|fig13|fig14|fig15|fig16|fig17|table2|svn-git|all \
+//	vbench -exp solvers|fig12|fig13|fig14|fig15|fig16|fig17|table2|svn-git|physical|autotune|all \
 //	       [-scale full|test] [-seed N] [-points K]
 //
 // The solvers experiment prints the live solver registry (name → paper
 // problem → constraint); the tradeoff figures iterate that registry rather
-// than a hand-maintained algorithm list.
+// than a hand-maintained algorithm list. The autotune experiment closes
+// the serving loop: it drives a skewed checkout workload through a live
+// repository and compares the unweighted layout against one laid out with
+// telemetry-derived weights, reporting the weighted recreation cost Φ_w
+// each would serve.
 package main
 
 import (
@@ -23,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: solvers, fig12, fig13, fig14, fig15, fig16, fig17, table2, svn-git, physical, all")
+	exp := flag.String("exp", "all", "experiment: solvers, fig12, fig13, fig14, fig15, fig16, fig17, table2, svn-git, physical, autotune, all")
 	scaleName := flag.String("scale", "full", "dataset scale: full or test")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	points := flag.Int("points", 0, "points per tradeoff curve (0 = default)")
@@ -170,6 +174,19 @@ func run(exp string, scale bench.Scale, csvDir string) error {
 				return err
 			}
 			bench.FormatPhysical(out, rows)
+		case "autotune":
+			n := 60
+			if scale.DC < 1000 {
+				n = 30
+			}
+			rows, err := bench.Autotune(n, scale.Seed)
+			if err != nil {
+				return err
+			}
+			bench.FormatAutotune(out, rows)
+			if err := writeCSV(csvDir, name, func(w *os.File) error { return bench.WriteAutotuneCSV(w, rows) }); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -178,7 +195,7 @@ func run(exp string, scale bench.Scale, csvDir string) error {
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"solvers", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "svn-git", "physical"} {
+		for _, name := range []string{"solvers", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "svn-git", "physical", "autotune"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

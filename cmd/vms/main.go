@@ -14,7 +14,7 @@
 //	vms solvers
 //	vms -dir D optimize -solver mst|spt|lmg|mp|last|gith|exact|p4|p5 \
 //	                    [-budget B] [-budget-factor X] [-theta T] [-alpha A] \
-//	                    [-iters N] [-hops K] [-compress]
+//	                    [-iters N] [-hops K] [-compress] [-no-auto-weights]
 //	vms -server URL optimize -async [...]
 //	vms -server URL jobs [-id J [-wait]] [-cancel J]
 //
@@ -23,7 +23,14 @@
 // legacy -objective names (min-storage, sum-recreation, max-recreation)
 // remain accepted when -solver is not given. A local optimize honors
 // Ctrl-C: interrupting a long solve cancels it cleanly instead of killing
-// the process mid-rewrite.
+// the process mid-rewrite. Weight-consuming solvers (lmg) pick up access
+// telemetry automatically; -no-auto-weights forces the uniform objective.
+//
+// stats reports the physical state plus the access telemetry feeding
+// workload-aware optimization: total recorded accesses, the weighted
+// recreation estimate Φ_w, the hottest versions, and — against an
+// auto-tuned vmsd — the autotune engine's trigger inputs and last
+// outcome.
 //
 // Against a server, `optimize -async` queues the re-layout as a background
 // job and prints its id immediately — the server solves off-lock and swaps
@@ -181,6 +188,15 @@ func runLocal(dir, backend string, cache int, cmd string, args []string) error {
 		fmt.Printf("stored bytes:   %d\n", st.StoredBytes)
 		fmt.Printf("logical bytes:  %d\n", st.LogicalBytes)
 		fmt.Printf("max chain hops: %d\n", st.MaxChainHops)
+		fmt.Printf("accesses:       %d\n", st.Accesses)
+		fmt.Printf("weighted Φ:     %.0f\n", r.WeightedPhi())
+		if hot := r.HotVersions(5); len(hot) > 0 {
+			fmt.Printf("hot versions:  ")
+			for _, h := range hot {
+				fmt.Printf(" v%d(%.1f)", h.Version, h.Count)
+			}
+			fmt.Println()
+		}
 	case "jobs":
 		return fmt.Errorf("jobs requires -server (background jobs live in a vmsd instance)")
 	case "optimize":
@@ -205,9 +221,10 @@ func runLocal(dir, backend string, cache int, cmd string, args []string) error {
 				Alpha:  wire.Alpha,
 				Iters:  wire.Iters,
 			},
-			BudgetFactor: wire.BudgetFactor,
-			RevealHops:   wire.RevealHops,
-			Compress:     wire.Compress,
+			BudgetFactor:  wire.BudgetFactor,
+			RevealHops:    wire.RevealHops,
+			Compress:      wire.Compress,
+			NoAutoWeights: wire.NoAutoWeights,
 		}
 		// Ctrl-C cancels the solve instead of killing the process mid-way.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -286,6 +303,22 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 		}
 		fmt.Printf("versions=%d branches=%d materialized=%d stored=%d logical=%d maxChain=%d\n",
 			st.Versions, st.Branches, st.Materialized, st.StoredBytes, st.LogicalBytes, st.MaxChainHops)
+		fmt.Printf("accesses=%d weightedΦ=%.0f\n", st.Accesses, st.WeightedPhi)
+		if len(st.Hot) > 0 {
+			fmt.Printf("hot:")
+			for _, h := range st.Hot {
+				fmt.Printf(" v%d(%.1f)", h.ID, h.Count)
+			}
+			fmt.Println()
+		}
+		if a := st.Autotune; a != nil {
+			fmt.Printf("autotune: solver=%s jobs=%d debounced=%d commits=%d drift=%.3f inflight=%v\n",
+				a.Solver, a.AutoJobs, a.Debounced, a.CommitsSince, a.Drift, a.InFlight)
+			if a.LastJobID != "" {
+				fmt.Printf("autotune last: job=%s trigger=%s outcome=%s %s\n",
+					a.LastJobID, a.LastTrigger, a.LastOutcome, a.LastError)
+			}
+		}
 	case "optimize":
 		wire, async, err := parseOptimizeFlags(args)
 		if err != nil {
@@ -398,6 +431,7 @@ func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, bool, error) {
 	iters := fs.Int("iters", 0, "binary-search iterations for p4/p5 (0 = 40)")
 	hops := fs.Int("hops", 5, "delta revelation radius")
 	compress := fs.Bool("compress", false, "compress stored blobs")
+	noWeights := fs.Bool("no-auto-weights", false, "ignore access telemetry: run weight-consuming solvers with uniform weights")
 	async := fs.Bool("async", false, "queue as a background job on the server and return its id (remote only)")
 	if err := fs.Parse(args); err != nil {
 		return vcs.OptimizeRequest{}, false, err
@@ -405,6 +439,7 @@ func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, bool, error) {
 	return vcs.OptimizeRequest{
 		Solver: *solver, Objective: *objective, Budget: *budget, BudgetFactor: *bf,
 		Theta: *theta, Alpha: *alpha, Iters: *iters, RevealHops: *hops, Compress: *compress,
+		NoAutoWeights: *noWeights,
 	}, *async, nil
 }
 

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem] [-cache N] [-jobs N]
+//	     [-autotune] [-autotune-interval D] [-autotune-commits N]
+//	     [-autotune-drift F] [-autotune-solver S]
 //
 // The -backend flag selects the physical store: "fs" (default) persists
 // loose objects and packfiles under -dir; "mem" serves a fresh
@@ -12,6 +14,15 @@
 // the LRU of materialized versions that lets hot checkouts skip
 // delta-chain replay. -jobs bounds how many background optimize jobs
 // (POST /optimize?async=1) run concurrently; excess submissions queue.
+//
+// -autotune closes the workload-aware loop: every -autotune-interval the
+// server compares the access-weighted recreation cost of the current
+// layout against the baseline captured at the last re-layout, and submits
+// a background re-layout job (solver -autotune-solver, weights derived
+// from access telemetry) when at least -autotune-commits commits have
+// landed or the weighted cost has drifted by the -autotune-drift fraction.
+// Auto jobs are ordinary background jobs: they appear in GET /jobs, and
+// GET /stats carries the engine's trigger inputs and last outcome.
 package main
 
 import (
@@ -19,7 +30,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
+	"versiondb/internal/autotune"
 	"versiondb/internal/repo"
 	"versiondb/internal/store"
 	"versiondb/internal/vcs"
@@ -32,6 +45,11 @@ func main() {
 	backend := flag.String("backend", "fs", "storage backend: fs or mem")
 	cache := flag.Int("cache", 64, "checkout LRU capacity in versions (0 disables)")
 	jobWorkers := flag.Int("jobs", 0, "max concurrent background optimize jobs (0 = default)")
+	tune := flag.Bool("autotune", false, "auto-submit background re-layouts from commit/drift triggers")
+	tuneInterval := flag.Duration("autotune-interval", 30*time.Second, "how often the autotune policy evaluates")
+	tuneCommits := flag.Int("autotune-commits", 16, "re-layout after this many commits (0 disables the commit trigger)")
+	tuneDrift := flag.Float64("autotune-drift", 0.25, "re-layout when weighted Φ drifts by this fraction (0 disables the drift trigger)")
+	tuneSolver := flag.String("autotune-solver", "lmg", "registry solver auto re-layouts run")
 	flag.Parse()
 	var (
 		r   *repo.Repo
@@ -56,11 +74,21 @@ func main() {
 		log.Fatalf("vmsd: %v", err)
 	}
 	r.EnableCache(*cache)
-	srv := vcs.NewServer(r, vcs.WithJobWorkers(*jobWorkers))
-	fmt.Printf("vmsd: serving %s backend on %s (%d versions, cache %d)\n",
-		*backend, *addr, r.NumVersions(), *cache)
-	// ListenAndServe only ever returns an error; cancel background jobs
-	// and wait for them before exiting (log.Fatal would skip defers).
+	opts := []vcs.ServerOption{vcs.WithJobWorkers(*jobWorkers)}
+	if *tune {
+		opts = append(opts, vcs.WithAutotune(autotune.Policy{
+			Interval:        *tuneInterval,
+			CommitThreshold: *tuneCommits,
+			DriftThreshold:  *tuneDrift,
+			Solver:          *tuneSolver,
+		}))
+	}
+	srv := vcs.NewServer(r, opts...)
+	fmt.Printf("vmsd: serving %s backend on %s (%d versions, cache %d, autotune %v)\n",
+		*backend, *addr, r.NumVersions(), *cache, *tune)
+	// ListenAndServe only ever returns an error; stop the autotune loop,
+	// cancel background jobs and wait for them before exiting (log.Fatal
+	// would skip defers).
 	serveErr := http.ListenAndServe(*addr, srv.Handler())
 	srv.Close()
 	log.Fatal(serveErr)

@@ -1,0 +1,69 @@
+package versiondb
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownLink matches [text](target) links; images share the same tail.
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// docFiles are the documents whose links the docs CI job keeps honest.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ROADMAP.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatalf("glob docs: %v", err)
+	}
+	return append(files, docs...)
+}
+
+// TestDocLinks verifies every relative markdown link in README, ROADMAP and
+// docs/ resolves to an existing file (external http(s)/mailto links and
+// pure in-page anchors are skipped — network-free by design).
+func TestDocLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			// Strip an in-file fragment and resolve relative to the doc.
+			path := target
+			if i := strings.IndexByte(path, '#'); i >= 0 {
+				path = path[:i]
+			}
+			if path == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", file, target, resolved, err)
+			}
+		}
+	}
+}
+
+// TestDocAnchorsForSolverTable pins the in-README anchor the solver table
+// references, so a future heading rename cannot silently strand it.
+func TestDocAnchorsForSolverTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README.md: %v", err)
+	}
+	if !strings.Contains(string(data), "## Auto-tuning") {
+		t.Error("README.md: #auto-tuning anchor target (\"## Auto-tuning\" heading) missing")
+	}
+}

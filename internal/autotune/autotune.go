@@ -1,0 +1,276 @@
+// Package autotune closes the workload-aware optimization loop: instead of
+// waiting for an operator to call POST /optimize, a policy Engine watches
+// the repository's commit count and its observed Φ-drift — the
+// access-weighted recreation cost the current workload experiences against
+// the current layout, versus the same estimate taken right after the last
+// re-layout — and submits background re-layout jobs through the job queue
+// when either crosses a threshold. The paper's serving loop ("answer
+// checkouts while periodically re-solving the storage/recreation
+// trade-off") thus becomes self-tuning: telemetry-derived weights flow into
+// the solver automatically (see repo.Optimize), and the layout follows the
+// hot set as it wanders.
+//
+// Auto-submitted jobs ride the same jobs.Manager as user submissions, so
+// they are observable through GET /jobs and cancelable like any other job.
+// Two rules keep them from starving user work: at most one auto job is ever
+// in flight, and consecutive auto jobs are separated by a debounce window
+// (lengthened by a backoff after a failed or conflicted run).
+package autotune
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"versiondb/internal/jobs"
+	"versiondb/internal/repo"
+	"versiondb/internal/solve"
+)
+
+// Policy configures the trigger thresholds and pacing of an Engine. The
+// zero value of each field selects its documented default, except the
+// thresholds: a zero CommitThreshold or DriftThreshold disables that
+// trigger, and with both disabled the engine never fires.
+type Policy struct {
+	// Interval is how often Run evaluates the policy (default 30s).
+	Interval time.Duration
+	// CommitThreshold triggers a re-layout once at least this many commits
+	// have landed since the last baseline (startup or the last successful
+	// auto re-layout). 0 disables the commit trigger.
+	CommitThreshold int
+	// DriftThreshold triggers a re-layout once the relative Φ-drift —
+	// current weighted recreation estimate over the baseline, minus 1 —
+	// meets or exceeds this fraction (0.25 = 25% costlier than right after
+	// the last layout). 0 disables the drift trigger.
+	DriftThreshold float64
+	// Debounce is the minimum gap between the end of one auto job and the
+	// submission of the next (default 2×Interval), so a persistently noisy
+	// trigger cannot monopolize the job queue.
+	Debounce time.Duration
+	// Backoff is added to Debounce after a failed, conflicted or canceled
+	// auto job (default 4×Debounce).
+	Backoff time.Duration
+	// Solver names the registry solver auto jobs run (default "lmg", the
+	// workload-aware budget solver). Knobs are defaulted by repo.Optimize
+	// from the repository's cost envelope, and weights are derived from
+	// telemetry exactly as for a user-submitted lmg optimize.
+	Solver string
+}
+
+// withDefaults resolves zero pacing fields; thresholds keep their
+// zero-disables semantics.
+func (p Policy) withDefaults() Policy {
+	if p.Interval <= 0 {
+		p.Interval = 30 * time.Second
+	}
+	if p.Debounce <= 0 {
+		p.Debounce = 2 * p.Interval
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 4 * p.Debounce
+	}
+	if p.Solver == "" {
+		p.Solver = "lmg"
+	}
+	return p
+}
+
+// Submitter is the slice of the job queue the engine needs; *jobs.Manager
+// implements it, and the HTTP server passes its own manager so auto jobs
+// appear in GET /jobs next to user-submitted ones.
+type Submitter interface {
+	Submit(req solve.Request, run jobs.Runner) (jobs.Snapshot, error)
+	Wait(ctx context.Context, id string) (jobs.Snapshot, error)
+}
+
+// Status is a race-free copy of the engine's externally visible state —
+// what GET /stats reports under "autotune".
+type Status struct {
+	// Enabled is always true for a live engine (the HTTP layer reports a
+	// nil engine as absent).
+	Enabled bool `json:"enabled"`
+	// Solver is the registry solver auto jobs run.
+	Solver string `json:"solver"`
+	// AutoJobs counts jobs this engine has submitted.
+	AutoJobs int `json:"auto_jobs"`
+	// Debounced counts triggers suppressed because an auto job was in
+	// flight or inside the debounce/backoff window.
+	Debounced int `json:"debounced"`
+	// CommitsSince and Drift are the trigger inputs at the last check:
+	// commits since the baseline, and the relative Φ_w drift (0.25 = 25%
+	// above baseline).
+	CommitsSince int     `json:"commits_since"`
+	Drift        float64 `json:"drift"`
+	// BaselinePhi is the weighted recreation estimate captured at startup
+	// or after the last successful auto re-layout; CurrentPhi is the same
+	// estimate at the last check.
+	BaselinePhi float64 `json:"baseline_phi"`
+	CurrentPhi  float64 `json:"current_phi"`
+	// InFlight reports an auto job currently pending or running.
+	InFlight bool `json:"in_flight"`
+	// LastCheck is when the policy last evaluated.
+	LastCheck time.Time `json:"last_check,omitzero"`
+	// LastTrigger is why the most recent auto job was submitted: "commits"
+	// or "drift".
+	LastTrigger string `json:"last_trigger,omitempty"`
+	// LastJobID is the most recent auto job's id (see GET /jobs/{id}).
+	LastJobID string `json:"last_job_id,omitempty"`
+	// LastOutcome is the terminal state of the most recent finished auto
+	// job: done, failed or canceled.
+	LastOutcome string `json:"last_outcome,omitempty"`
+	// LastError carries the failure or cancellation message, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Engine evaluates a Policy against one repository and submits background
+// re-layouts. Construct with New, drive with Run (or Tick directly, as the
+// tests do), observe with Status.
+type Engine struct {
+	repo   *repo.Repo
+	queue  Submitter
+	policy Policy
+
+	mu               sync.Mutex
+	baselinePhi      float64
+	baselineVersions int
+	notBefore        time.Time // debounce horizon for the next submission
+	inFlight         bool
+	status           Status
+}
+
+// New returns an engine with the baseline initialized to the repository's
+// current state, so triggers measure change from "now", not from zero.
+func New(r *repo.Repo, queue Submitter, p Policy) *Engine {
+	p = p.withDefaults()
+	e := &Engine{
+		repo:             r,
+		queue:            queue,
+		policy:           p,
+		baselinePhi:      r.WeightedPhi(),
+		baselineVersions: r.NumVersions(),
+	}
+	e.status.Enabled = true
+	e.status.Solver = p.Solver
+	return e
+}
+
+// Run evaluates the policy every Interval until ctx is done. It is the
+// long-lived goroutine the HTTP server starts alongside its job manager.
+func (e *Engine) Run(ctx context.Context) {
+	ticker := time.NewTicker(e.policy.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			e.Tick(ctx)
+		}
+	}
+}
+
+// Tick evaluates the policy once. It returns whether a job was submitted
+// and the trigger reason ("commits" or "drift"); a trigger suppressed by
+// the debounce/in-flight rules returns (false, "debounced"). Exported so
+// tests — and operators embedding the engine — can drive evaluation
+// deterministically without the timer.
+func (e *Engine) Tick(ctx context.Context) (submitted bool, reason string) {
+	if ctx != nil && ctx.Err() != nil {
+		return false, "" // shutting down: never submit into a closing queue
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := time.Now()
+	commits := e.repo.NumVersions() - e.baselineVersions
+	cur := e.repo.WeightedPhi()
+	if e.baselinePhi == 0 && cur > 0 {
+		// The engine started over an empty (or never-measured) repository:
+		// adopt the first non-zero estimate as the drift baseline, or a
+		// drift-only policy could never fire. The commit baseline is left
+		// alone — it was valid from construction.
+		e.baselinePhi = cur
+	}
+	drift := 0.0
+	if e.baselinePhi > 0 {
+		drift = cur/e.baselinePhi - 1
+	}
+	e.status.LastCheck = now
+	e.status.CommitsSince = commits
+	e.status.Drift = drift
+	e.status.CurrentPhi = cur
+	e.status.BaselinePhi = e.baselinePhi
+
+	switch {
+	case e.policy.CommitThreshold > 0 && commits >= e.policy.CommitThreshold:
+		reason = "commits"
+	case e.policy.DriftThreshold > 0 && drift >= e.policy.DriftThreshold:
+		reason = "drift"
+	default:
+		return false, ""
+	}
+	if e.inFlight || now.Before(e.notBefore) {
+		e.status.Debounced++
+		return false, "debounced"
+	}
+
+	req := solve.Request{Solver: e.policy.Solver}
+	snap, err := e.queue.Submit(req, func(jobCtx context.Context, progress func(string)) (*solve.Result, error) {
+		return e.repo.Optimize(jobCtx, repo.OptimizeOptions{Request: req, Progress: progress})
+	})
+	if err != nil {
+		// A closed or rejecting queue: record it like a failed job and back
+		// off, so a dying server is not hammered every tick. LastJobID is
+		// cleared — no job exists to attribute this failure to.
+		e.status.LastTrigger = reason
+		e.status.LastJobID = ""
+		e.status.LastOutcome = string(jobs.StateFailed)
+		e.status.LastError = err.Error()
+		e.notBefore = now.Add(e.policy.Debounce + e.policy.Backoff)
+		return false, reason
+	}
+	e.inFlight = true
+	e.status.InFlight = true
+	e.status.AutoJobs++
+	e.status.LastTrigger = reason
+	e.status.LastJobID = snap.ID
+	e.status.LastOutcome = ""
+	e.status.LastError = ""
+	go e.watch(snap.ID)
+	return true, reason
+}
+
+// watch follows one auto job to its terminal state, then re-baselines (on
+// success) and arms the debounce window. It runs outside Tick so policy
+// evaluation never blocks on a long solve.
+func (e *Engine) watch(id string) {
+	snap, err := e.queue.Wait(context.Background(), id)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.inFlight = false
+	e.status.InFlight = false
+	gap := e.policy.Debounce
+	switch {
+	case err != nil:
+		e.status.LastOutcome = string(jobs.StateFailed)
+		e.status.LastError = err.Error()
+		gap += e.policy.Backoff
+	case snap.State == jobs.StateDone:
+		e.status.LastOutcome = string(snap.State)
+		// The layout just changed under the weights the job derived: this
+		// point is the new normal that future drift is measured against.
+		e.baselinePhi = e.repo.WeightedPhi()
+		e.baselineVersions = e.repo.NumVersions()
+	default: // failed or canceled
+		e.status.LastOutcome = string(snap.State)
+		e.status.LastError = snap.Err
+		gap += e.policy.Backoff
+	}
+	e.notBefore = time.Now().Add(gap)
+}
+
+// Status returns a copy of the engine's externally visible state.
+func (e *Engine) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.status
+}

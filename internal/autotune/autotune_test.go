@@ -1,0 +1,214 @@
+package autotune
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"versiondb/internal/jobs"
+	"versiondb/internal/repo"
+	"versiondb/internal/solve"
+	"versiondb/internal/solvetest"
+	"versiondb/internal/store"
+)
+
+// gate lets tests hold an auto-submitted solve provably in flight.
+var gate = solvetest.NewGate("atgate")
+
+func init() { solve.Register(gate) }
+
+// growingPayload returns version i of a dataset that gains lines over time,
+// so incremental commits store small deltas and delta chains (hence the
+// cold recreation cost Φ) deepen steadily — the drift driver.
+func growingPayload(i int) []byte {
+	var b strings.Builder
+	for l := 0; l < 20+10*i; l++ {
+		fmt.Fprintf(&b, "row-%04d,alpha,beta,gamma\n", l)
+	}
+	return []byte(b.String())
+}
+
+func memRepo(t *testing.T, versions int) *repo.Repo {
+	t.Helper()
+	r, err := repo.InitBackend(store.NewMemStore())
+	if err != nil {
+		t.Fatalf("InitBackend: %v", err)
+	}
+	for i := 0; i < versions; i++ {
+		if _, err := r.Commit(repo.DefaultBranch, growingPayload(i), "v"); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	return r
+}
+
+func commitMore(t *testing.T, r *repo.Repo, from, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := r.Commit(repo.DefaultBranch, growingPayload(from+i), "v"); err != nil {
+			t.Fatalf("Commit %d: %v", from+i, err)
+		}
+	}
+}
+
+// waitStatus polls the engine until cond holds or the deadline passes.
+func waitStatus(t *testing.T, e *Engine, what string, cond func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := e.Status()
+		if cond(s) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; status %+v", what, s)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAutotuneDriftTriggersAndDebounces is the policy's core contract: a
+// drift past the threshold submits exactly one background job (held
+// provably mid-solve by the gate), re-triggers while it runs or inside the
+// debounce window are suppressed, and a successful job re-baselines.
+func TestAutotuneDriftTriggersAndDebounces(t *testing.T) {
+	r := memRepo(t, 2)
+	mgr := jobs.NewManager(1)
+	defer mgr.Close()
+	eng := New(r, mgr, Policy{
+		Interval:       time.Hour, // Run is never started; Tick drives everything
+		DriftThreshold: 0.5,
+		Debounce:       time.Hour,
+		Solver:         "atgate",
+	})
+
+	if sub, reason := eng.Tick(context.Background()); sub || reason != "" {
+		t.Fatalf("fresh engine triggered (%v, %q)", sub, reason)
+	}
+
+	// Deepen the delta chains well past 50% drift.
+	commitMore(t, r, 2, 20)
+	started, release := gate.Arm()
+	defer gate.Disarm()
+	sub, reason := eng.Tick(context.Background())
+	if !sub || reason != "drift" {
+		t.Fatalf("Tick = (%v, %q), want drift trigger; status %+v", sub, reason, eng.Status())
+	}
+
+	// The solver is provably in flight now...
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("auto job never reached the solver")
+	}
+	// ...so a still-true trigger must be suppressed, not double-submitted.
+	if sub, reason := eng.Tick(context.Background()); sub || reason != "debounced" {
+		t.Fatalf("in-flight Tick = (%v, %q), want suppressed", sub, reason)
+	}
+	st := eng.Status()
+	if !st.InFlight || st.AutoJobs != 1 || st.Debounced != 1 || st.LastTrigger != "drift" {
+		t.Fatalf("mid-flight status %+v", st)
+	}
+	// The job is a first-class citizen of the shared queue.
+	if job, err := mgr.Get(st.LastJobID); err != nil || job.Request.Solver != "atgate" {
+		t.Fatalf("auto job not observable in the manager: %v %+v", err, job)
+	}
+
+	close(release)
+	done := waitStatus(t, eng, "auto job completion", func(s Status) bool {
+		return s.LastOutcome == string(jobs.StateDone)
+	})
+	if done.InFlight {
+		t.Fatalf("done but still in flight: %+v", done)
+	}
+
+	// Success re-baselined: the same workload no longer reads as drifted.
+	if sub, reason := eng.Tick(context.Background()); sub || reason != "" {
+		t.Fatalf("post-rebaseline Tick = (%v, %q), want idle", sub, reason)
+	}
+	// A genuinely new drift inside the hour-long debounce window is
+	// detected but NOT acted on — the debounced job must not run.
+	commitMore(t, r, 22, 20)
+	if sub, reason := eng.Tick(context.Background()); sub || reason != "debounced" {
+		t.Fatalf("debounce-window Tick = (%v, %q), want debounced", sub, reason)
+	}
+	if st := eng.Status(); st.AutoJobs != 1 || st.Debounced != 2 {
+		t.Fatalf("debounced trigger changed job count: %+v", st)
+	}
+}
+
+func TestAutotuneCommitThreshold(t *testing.T) {
+	r := memRepo(t, 1)
+	mgr := jobs.NewManager(1)
+	defer mgr.Close()
+	eng := New(r, mgr, Policy{
+		Interval:        time.Hour,
+		CommitThreshold: 3,
+		Debounce:        time.Nanosecond,
+		Solver:          "mst",
+	})
+
+	commitMore(t, r, 1, 2)
+	if sub, _ := eng.Tick(context.Background()); sub {
+		t.Fatal("triggered below the commit threshold")
+	}
+	commitMore(t, r, 3, 1)
+	if sub, reason := eng.Tick(context.Background()); !sub || reason != "commits" {
+		t.Fatalf("Tick = (%v, %q), want commits trigger", sub, reason)
+	}
+	st := waitStatus(t, eng, "commit-triggered job", func(s Status) bool {
+		return s.LastOutcome == string(jobs.StateDone)
+	})
+	if st.AutoJobs != 1 {
+		t.Fatalf("auto jobs = %d, want 1", st.AutoJobs)
+	}
+	// The baseline moved to the post-layout commit count: two fresh commits
+	// stay below threshold again.
+	commitMore(t, r, 4, 2)
+	if sub, reason := eng.Tick(context.Background()); sub || reason != "" {
+		t.Fatalf("post-rebaseline Tick = (%v, %q), want idle", sub, reason)
+	}
+}
+
+func TestAutotuneDisabledThresholdsNeverFire(t *testing.T) {
+	r := memRepo(t, 2)
+	mgr := jobs.NewManager(1)
+	defer mgr.Close()
+	eng := New(r, mgr, Policy{Interval: time.Hour}) // both thresholds zero
+
+	commitMore(t, r, 2, 30)
+	for i := 0; i < 3; i++ {
+		if sub, reason := eng.Tick(context.Background()); sub || reason != "" {
+			t.Fatalf("disabled engine triggered (%v, %q)", sub, reason)
+		}
+	}
+	if st := eng.Status(); st.AutoJobs != 0 || len(mgr.List()) != 0 {
+		t.Fatalf("disabled engine submitted jobs: %+v, %d queued", st, len(mgr.List()))
+	}
+}
+
+func TestAutotuneFailureBacksOff(t *testing.T) {
+	r := memRepo(t, 1)
+	mgr := jobs.NewManager(1)
+	mgr.Close() // a dead queue: every Submit fails
+	eng := New(r, mgr, Policy{
+		Interval:        time.Hour,
+		CommitThreshold: 1,
+		Debounce:        time.Hour,
+		Solver:          "mst",
+	})
+	commitMore(t, r, 1, 2)
+	if sub, reason := eng.Tick(context.Background()); sub || reason != "commits" {
+		t.Fatalf("Tick = (%v, %q), want failed commits trigger", sub, reason)
+	}
+	st := eng.Status()
+	if st.LastOutcome != string(jobs.StateFailed) || st.LastError == "" {
+		t.Fatalf("failed submit not recorded: %+v", st)
+	}
+	// The failure armed debounce+backoff: the trigger stays suppressed.
+	if sub, reason := eng.Tick(context.Background()); sub || reason != "debounced" {
+		t.Fatalf("post-failure Tick = (%v, %q), want debounced", sub, reason)
+	}
+}

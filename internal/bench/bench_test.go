@@ -132,6 +132,33 @@ func TestFig16WorkloadAwareWins(t *testing.T) {
 	}
 }
 
+// TestAutotuneTelemetryWins is the closed-loop acceptance check: on a
+// skewed checkout workload over a live repository, the layout solved with
+// telemetry-derived weights serves the observed workload no worse — and in
+// practice meaningfully cheaper — than the unweighted layout under the same
+// storage budget.
+func TestAutotuneTelemetryWins(t *testing.T) {
+	rows, err := Autotune(30, 1)
+	if err != nil {
+		t.Fatalf("Autotune: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 variants, got %+v", rows)
+	}
+	gap, err := AutotuneGap(rows)
+	if err != nil {
+		t.Fatalf("AutotuneGap: %v", err)
+	}
+	// Directional: telemetry must not lose (ratio ≥ ~1); with this skew it
+	// should win comfortably.
+	if gap < 0.99 {
+		t.Errorf("telemetry-weighted layout worse than uniform (Φ_w ratio %.3f): %+v", gap, rows)
+	}
+	if gap < 1.05 {
+		t.Logf("warning: telemetry gain marginal (ratio %.3f)", gap)
+	}
+}
+
 func TestFig17RuntimesPositive(t *testing.T) {
 	rows, err := Fig17(TestScale(), []int{30, 60}, 2)
 	if err != nil {

@@ -109,15 +109,16 @@ func FormatFig17(w io.Writer, rows []RuntimePoint) {
 }
 
 // FormatSolvers renders the live solver registry — name, algorithm, paper
-// problem, objective, and declared constraint — so tooling output always
-// matches what is actually registered.
+// problem, objective, declared constraint, and whether the solver consumes
+// per-version access weights — so tooling output always matches what is
+// actually registered.
 func FormatSolvers(w io.Writer) {
 	fmt.Fprintln(w, "== solvers: registered optimization strategies ==")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "name\talgorithm\tproblem\tobjective\tconstraint\texact")
+	fmt.Fprintln(tw, "name\talgorithm\tproblem\tobjective\tconstraint\texact\tweighted")
 	for _, info := range solve.Solvers() {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%v\n",
-			info.Name, info.Algorithm, info.Problem, info.Objective, info.Constraint, info.Exact)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%v\t%v\n",
+			info.Name, info.Algorithm, info.Problem, info.Objective, info.Constraint, info.Exact, info.Weighted)
 	}
 	tw.Flush()
 }

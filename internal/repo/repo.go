@@ -80,6 +80,13 @@ type Repo struct {
 	meta      meta
 	cacheSize int // checkout LRU capacity, re-applied after Optimize
 
+	// stats is the access telemetry feeding workload-aware optimization:
+	// checkouts and commits record per-version counters (with exponential
+	// decay), Weights derives normalized frequencies from them, and
+	// Optimize feeds those into weight-consuming solvers by default. The
+	// structure has its own lock and is persisted through the MetaStore.
+	stats *store.AccessStats
+
 	// optMu serializes Optimize calls with each other (never with readers
 	// or committers): two re-layouts racing to swap would silently discard
 	// one solve's work.
@@ -127,6 +134,7 @@ func InitBackend(b store.Backend) (*Repo, error) {
 		metaStore: ms,
 		layout:    emptyLayout(b),
 		meta:      meta{Branches: map[string]int{}},
+		stats:     store.NewAccessStats(ms),
 	}
 	if err := r.save(); err != nil {
 		return nil, err
@@ -153,7 +161,7 @@ func OpenBackend(b store.Backend) (*Repo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repo: open: %w", err)
 	}
-	r := &Repo{backend: b, metaStore: ms}
+	r := &Repo{backend: b, metaStore: ms, stats: store.LoadAccessStats(ms)}
 	if err := json.Unmarshal(data, &r.meta); err != nil {
 		return nil, fmt.Errorf("repo: open: %w", err)
 	}
@@ -208,7 +216,13 @@ func (r *Repo) save() error {
 	if err := r.metaStore.PutMeta(metaName, data); err != nil {
 		return fmt.Errorf("repo: save: %w", err)
 	}
-	return r.layout.Save()
+	if err := r.layout.Save(); err != nil {
+		return err
+	}
+	// Telemetry rides along best-effort: losing access counters must never
+	// fail a commit (they also auto-flush every few records on their own).
+	_ = r.stats.Flush()
+	return nil
 }
 
 // NumVersions returns the number of committed versions.
@@ -345,6 +359,11 @@ func (r *Repo) addVersion(branch string, payload []byte, message string, parents
 	entry.Blob = bid
 	entry.StoredBytes = len(blob)
 	r.layout.Entries = append(r.layout.Entries, entry)
+	// A freshly committed version was just materialized by its author —
+	// seed its access counter so recency shows up in the derived weights.
+	// Recorded before save so the save-time flush persists it (telemetry
+	// is advisory: a phantom count from a rolled-back commit is harmless).
+	r.stats.Record(id)
 	if err := r.save(); err != nil {
 		r.layout.Entries = r.layout.Entries[:id]
 		rollback()
@@ -378,7 +397,15 @@ func (r *Repo) checkoutLocked(v int) ([]byte, error) {
 	if v < 0 || v >= len(r.meta.Versions) {
 		return nil, fmt.Errorf("repo: version %d out of range [0,%d): %w", v, len(r.meta.Versions), ErrUnknownVersion)
 	}
-	return r.layout.Checkout(v)
+	payload, err := r.layout.Checkout(v)
+	if err == nil {
+		// Telemetry: every materialization counts — serving checkouts and
+		// the commit path reading its parent base alike. AccessStats has
+		// its own lock and performs no blob I/O, so recording under the
+		// read lock does not serialize checkouts.
+		r.stats.Record(v)
+	}
+	return payload, err
 }
 
 // Stats summarizes the repository's physical state.
@@ -392,6 +419,10 @@ type Stats struct {
 	SumChainHops int
 	CacheHits    uint64
 	CacheMisses  uint64
+	// Accesses is the raw (undecayed) number of version accesses the
+	// telemetry layer has recorded — checkouts plus commit
+	// materializations.
+	Accesses uint64
 }
 
 // Stats computes the current storage statistics.
@@ -405,6 +436,7 @@ func (r *Repo) Stats() Stats {
 		StoredBytes:  r.layout.StoredBytes(),
 	}
 	st.CacheHits, st.CacheMisses = r.layout.Cache().Stats()
+	st.Accesses = r.stats.Total()
 	for _, v := range r.meta.Versions {
 		st.LogicalBytes += v.Size
 	}
@@ -416,6 +448,56 @@ func (r *Repo) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// AccessStats exposes the repository's access telemetry (counters with
+// exponential decay; see store.AccessStats). It is safe for concurrent use.
+func (r *Repo) AccessStats() *store.AccessStats { return r.stats }
+
+// Weights derives normalized per-version access weights from the telemetry
+// for the repository's current version count: decayed counters, Laplace
+// smoothed, mean 1. It returns nil when no accesses have been recorded —
+// callers treat nil as a uniform workload.
+func (r *Repo) Weights() []float64 {
+	r.mu.RLock()
+	n := len(r.meta.Versions)
+	r.mu.RUnlock()
+	return r.stats.Weights(n)
+}
+
+// HotVersions returns the k most-accessed versions by decayed count,
+// descending.
+func (r *Repo) HotVersions(k int) []store.VersionAccess { return r.stats.TopK(k) }
+
+// WeightedPhi estimates the recreation cost the *current workload*
+// experiences against the *current layout*: the access-weighted mean of
+// each version's cold checkout work (stored bytes read and applied along
+// its delta chain — the physical Φ). With no telemetry it is the plain
+// mean. The estimate reads only layout metadata (no blob I/O) under the
+// read lock; the autotune policy engine compares it across time to detect
+// Φ-drift — the hot set wandering away from what the last re-layout
+// optimized for, or fresh commits deepening chains.
+func (r *Repo) WeightedPhi() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.meta.Versions)
+	if n == 0 {
+		return 0
+	}
+	w := r.stats.Weights(n)
+	var sum, wsum float64
+	for v := 0; v < n; v++ {
+		wv := 1.0
+		if w != nil {
+			wv = w[v]
+		}
+		sum += wv * float64(r.layout.CheckoutWork(v))
+		wsum += wv
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
 }
 
 // OptimizeObjective selects the algorithm used by Optimize when no solver
@@ -486,6 +568,14 @@ type OptimizeOptions struct {
 	// re-solves after its copy-on-write swap loses to concurrent commits.
 	// 0 means the default of 2; negative disables retries.
 	ConflictRetries int
+	// NoAutoWeights disables telemetry-derived weights: when false (the
+	// default) and the named solver consumes Request.Weights (per its
+	// registry Info), Optimize fills an unset Request.Weights from the
+	// repository's access statistics so the layout favors the observed hot
+	// set. A caller-supplied Request.Weights always wins; NoAutoWeights
+	// forces the uniform (unweighted) objective even with telemetry
+	// present.
+	NoAutoWeights bool
 	// Progress, when non-nil, receives coarse phase names as the
 	// optimization advances ("snapshot", "diff", "solve", "rewrite",
 	// "swap", "retry"). It is called without any repository lock held and
@@ -499,8 +589,10 @@ type OptimizeOptions struct {
 // version size, Σ-Φ bounds from 1.25× the SPT minimum, α from 2. Unknown
 // solver names (or objective values) surface solve.ErrUnknownSolver.
 // versions is the snapshot being optimized — not r.meta — so the request is
-// consistent with the payloads even when commits land mid-solve.
-func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOptions) (solve.Request, error) {
+// consistent with the payloads even when commits land mid-solve. The
+// resolved solver's capability record rides along so callers need not look
+// it up again.
+func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOptions) (solve.Request, solve.Info, error) {
 	req := opts.Request
 	if req.Theta <= 0 {
 		req.Theta = opts.Theta
@@ -508,20 +600,20 @@ func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOpt
 	if req.Solver == "" {
 		name, ok := objectiveSolver[opts.Objective]
 		if !ok {
-			return req, fmt.Errorf("repo: optimize: objective %d: %w", opts.Objective, solve.ErrUnknownSolver)
+			return req, solve.Info{}, fmt.Errorf("repo: optimize: objective %d: %w", opts.Objective, solve.ErrUnknownSolver)
 		}
 		req.Solver = name
 	}
 	info, err := solve.Describe(req.Solver)
 	if err != nil {
-		return req, fmt.Errorf("repo: optimize: %w", err)
+		return req, info, fmt.Errorf("repo: optimize: %w", err)
 	}
 	switch info.Knob {
 	case solve.KnobBudget:
 		if req.Budget <= 0 {
 			mca, err := solve.MinStorage(inst)
 			if err != nil {
-				return req, err
+				return req, info, err
 			}
 			f := opts.BudgetFactor
 			if f <= 1 {
@@ -543,7 +635,7 @@ func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOpt
 		if req.Theta <= 0 {
 			spt, err := solve.MinRecreation(inst)
 			if err != nil {
-				return req, err
+				return req, info, err
 			}
 			req.Theta = spt.SumR * 1.25
 		}
@@ -552,7 +644,7 @@ func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOpt
 			req.Alpha = 2
 		}
 	}
-	return req, nil
+	return req, info, nil
 }
 
 // Optimize recomputes the global storage layout copy-on-write: it snapshots
@@ -655,9 +747,15 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 	if err != nil {
 		return nil, err
 	}
-	req, err := solveRequest(inst, versions, opts)
+	req, info, err := solveRequest(inst, versions, opts)
 	if err != nil {
 		return nil, err
+	}
+	// Workload-aware by default: when the solver consumes weights and the
+	// caller supplied none, derive them from the access telemetry — sized
+	// to this snapshot, so mid-solve commits cannot skew the length.
+	if info.Weighted && req.Weights == nil && !opts.NoAutoWeights {
+		req.Weights = r.stats.Weights(n)
 	}
 	progress("solve")
 	res, err := solve.Solve(ctx, inst, req)

@@ -156,6 +156,12 @@ type Info struct {
 	Constraint Constraint // guarantee the conformance suite asserts
 	Knob       Knob       // the Request field sweeps vary
 	Exact      bool       // provably optimal (when it completes)
+	// Weighted reports that the solver consumes Request.Weights — its
+	// objective scales each version's recreation cost by the supplied
+	// access frequency (the paper's workload-aware formulation). Serving
+	// layers use this to decide whether deriving weights from access
+	// telemetry is worthwhile for a given request.
+	Weighted bool
 }
 
 // Solver is one registered optimization strategy.
@@ -322,7 +328,8 @@ func init() {
 	})
 	Register(funcSolver{
 		info: Info{Name: "lmg", Algorithm: "LMG", Problem: "Problem 3",
-			Objective: "min Σ recreation", Constraint: ConstraintStorageLEBudget, Knob: KnobBudget},
+			Objective: "min Σ recreation", Constraint: ConstraintStorageLEBudget, Knob: KnobBudget,
+			Weighted: true},
 		validate: func(inst *Instance, req Request) error {
 			if err := needsBudget(inst, req); err != nil {
 				return err

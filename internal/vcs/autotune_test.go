@@ -1,0 +1,125 @@
+package vcs
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"versiondb/internal/autotune"
+	"versiondb/internal/jobs"
+	"versiondb/internal/repo"
+	"versiondb/internal/store"
+)
+
+// autotuneServer spins up a mem-backed server, optionally auto-tuned.
+func autotuneServer(t *testing.T, opts ...ServerOption) (*Client, *Server) {
+	t.Helper()
+	r, err := repo.InitBackend(store.NewMemStore())
+	if err != nil {
+		t.Fatalf("InitBackend: %v", err)
+	}
+	s := NewServer(r, opts...)
+	t.Cleanup(s.Close)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return NewClient(hs.URL), s
+}
+
+// TestAutotuneEndToEnd drives commits through the HTTP API until the
+// commit-count trigger fires, then observes the auto job through GET /jobs
+// and the engine through GET /stats — the acceptance loop: telemetry →
+// trigger → background re-layout → observable outcome.
+func TestAutotuneEndToEnd(t *testing.T) {
+	c, _ := autotuneServer(t, WithAutotune(autotune.Policy{
+		Interval:        2 * time.Millisecond,
+		CommitThreshold: 4,
+		Debounce:        time.Hour,
+		Solver:          "lmg",
+	}))
+	for i := 0; i < 5; i++ {
+		if _, err := c.Commit(repo.DefaultBranch, payload(t, int64(i), 30+5*i), "v"); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	// Skew the workload so the derived weights carry signal.
+	for i := 0; i < 20; i++ {
+		if _, err := c.Checkout(1); err != nil {
+			t.Fatalf("Checkout: %v", err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var done *JobInfo
+	for done == nil {
+		if time.Now().After(deadline) {
+			st, _ := c.Stats()
+			t.Fatalf("no auto job completed; stats %+v", st)
+		}
+		list, err := c.Jobs()
+		if err != nil {
+			t.Fatalf("Jobs: %v", err)
+		}
+		for i := range list {
+			if list[i].State == string(jobs.StateDone) {
+				done = &list[i]
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if done.Solver != "lmg" || done.Result == nil {
+		t.Fatalf("auto job %+v lacks its lmg result", done)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Autotune == nil || !st.Autotune.Enabled {
+		t.Fatalf("stats missing autotune status: %+v", st)
+	}
+	if st.Autotune.AutoJobs < 1 || st.Autotune.LastJobID == "" {
+		t.Fatalf("autotune status missing job provenance: %+v", st.Autotune)
+	}
+	if st.Accesses == 0 || st.WeightedPhi <= 0 {
+		t.Fatalf("telemetry absent from stats: %+v", st)
+	}
+	if len(st.Hot) == 0 || st.Hot[0].ID != 1 {
+		t.Fatalf("hot list does not lead with the hammered version: %+v", st.Hot)
+	}
+}
+
+// TestAutotuneDisabledSubmitsNothing is the flip side of the acceptance
+// criteria: without WithAutotune the same workload yields zero auto jobs
+// and no autotune block in stats.
+func TestAutotuneDisabledSubmitsNothing(t *testing.T) {
+	c, _ := autotuneServer(t)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Commit(repo.DefaultBranch, payload(t, int64(i), 30+5*i), "v"); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Checkout(2); err != nil {
+			t.Fatalf("Checkout: %v", err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // would be ten autotune intervals
+	list, err := c.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("autotune disabled but %d job(s) appeared: %+v", len(list), list)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Autotune != nil {
+		t.Fatalf("autotune status reported while disabled: %+v", st.Autotune)
+	}
+	// Telemetry itself still flows — it is the autotune loop that is off.
+	if st.Accesses == 0 || len(st.Hot) == 0 {
+		t.Fatalf("telemetry should be on regardless: %+v", st)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"versiondb/internal/autotune"
 	"versiondb/internal/repo"
 )
 
@@ -72,6 +73,11 @@ type OptimizeRequest struct {
 	Iters      int  `json:"iters,omitempty"`
 	RevealHops int  `json:"reveal_hops,omitempty"`
 	Compress   bool `json:"compress,omitempty"`
+	// NoAutoWeights disables telemetry-derived weights for this solve:
+	// weight-consuming solvers (the "weighted" column of `vms solvers` /
+	// `vbench -exp solvers`) run the plain uniform objective even when
+	// access statistics exist.
+	NoAutoWeights bool `json:"no_auto_weights,omitempty"`
 }
 
 // OptimizeResponse reports the solution the optimizer chose.
@@ -116,7 +122,15 @@ type JobsResponse struct {
 	Jobs []JobInfo `json:"jobs"`
 }
 
-// StatsResponse reports repository statistics.
+// HotVersion is one entry of the stats hot list: a version and its decayed
+// access count.
+type HotVersion struct {
+	ID    int     `json:"id"`
+	Count float64 `json:"count"`
+}
+
+// StatsResponse reports repository statistics, access telemetry, and — when
+// the server runs with auto-tuning — the policy engine's state.
 type StatsResponse struct {
 	Versions     int    `json:"versions"`
 	Branches     int    `json:"branches"`
@@ -126,6 +140,19 @@ type StatsResponse struct {
 	MaxChainHops int    `json:"max_chain_hops"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
+	// Accesses is the raw number of version accesses recorded by the
+	// telemetry layer (checkouts plus commit materializations).
+	Accesses uint64 `json:"accesses"`
+	// WeightedPhi estimates the recreation cost the current workload
+	// experiences against the current layout (access-weighted mean cold
+	// checkout work, in stored bytes).
+	WeightedPhi float64 `json:"weighted_phi"`
+	// Hot lists the most-accessed versions by decayed count, descending.
+	Hot []HotVersion `json:"hot,omitempty"`
+	// Autotune reports the policy engine's state — trigger inputs, job
+	// counts, and the last auto-optimize outcome. Absent when the server
+	// runs without -autotune.
+	Autotune *autotune.Status `json:"autotune,omitempty"`
 }
 
 // ErrorResponse is the uniform error body.

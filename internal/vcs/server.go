@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"versiondb/internal/autotune"
 	"versiondb/internal/jobs"
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
@@ -32,6 +33,10 @@ type Server struct {
 	// number the synchronous path reports — instead of re-reading live
 	// repository stats on every poll.
 	results sync.Map
+	// tuner, when non-nil, is the auto-optimization policy engine looping
+	// in the background; tunerStop ends its loop before jobs are closed.
+	tuner     *autotune.Engine
+	tunerStop context.CancelFunc
 }
 
 // ServerOption configures NewServer.
@@ -39,6 +44,7 @@ type ServerOption func(*serverConfig)
 
 type serverConfig struct {
 	jobWorkers int
+	autotune   *autotune.Policy
 }
 
 // WithJobWorkers bounds how many background optimize jobs run at once
@@ -47,18 +53,44 @@ func WithJobWorkers(n int) ServerOption {
 	return func(c *serverConfig) { c.jobWorkers = n }
 }
 
+// WithAutotune starts an auto-optimization policy engine alongside the
+// server: commit-count and Φ-drift triggers submit background re-layouts
+// through the server's own job manager (so they show up in GET /jobs), and
+// GET /stats reports the engine's state. The engine stops with Close.
+func WithAutotune(p autotune.Policy) ServerOption {
+	return func(c *serverConfig) { c.autotune = &p }
+}
+
 // NewServer wraps a repository. Call Close when done to cancel any
-// background jobs still running.
+// background jobs still running and stop the autotune loop, if one was
+// enabled.
 func NewServer(r *repo.Repo, opts ...ServerOption) *Server {
 	var cfg serverConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Server{repo: r, jobs: jobs.NewManager(cfg.jobWorkers)}
+	s := &Server{repo: r, jobs: jobs.NewManager(cfg.jobWorkers)}
+	if cfg.autotune != nil {
+		s.tuner = autotune.New(r, s.jobs, *cfg.autotune)
+		ctx, cancel := context.WithCancel(context.Background())
+		s.tunerStop = cancel
+		go s.tuner.Run(ctx)
+	}
+	return s
 }
 
-// Close cancels every live background job and waits for them to wind down.
-func (s *Server) Close() { s.jobs.Close() }
+// Autotune returns the server's policy engine, nil when auto-tuning is
+// disabled.
+func (s *Server) Autotune() *autotune.Engine { return s.tuner }
+
+// Close stops the autotune loop (if any), then cancels every live
+// background job and waits for them to wind down.
+func (s *Server) Close() {
+	if s.tunerStop != nil {
+		s.tunerStop()
+	}
+	s.jobs.Close()
+}
 
 // Handler returns the HTTP routing table.
 func (s *Server) Handler() http.Handler {
@@ -194,9 +226,10 @@ func optimizeOptions(req OptimizeRequest) (repo.OptimizeOptions, error) {
 			Alpha:  req.Alpha,
 			Iters:  req.Iters,
 		},
-		BudgetFactor: req.BudgetFactor,
-		RevealHops:   req.RevealHops,
-		Compress:     req.Compress,
+		BudgetFactor:  req.BudgetFactor,
+		RevealHops:    req.RevealHops,
+		Compress:      req.Compress,
+		NoAutoWeights: req.NoAutoWeights,
 	}, nil
 }
 
@@ -289,8 +322,10 @@ func (s *Server) jobInfo(snap jobs.Snapshot) JobInfo {
 			}
 		}
 		if info.Result == nil {
-			// Only reachable in the instant between the job finishing and
-			// the submitting handler registering the holder.
+			// No frozen holder: an autotune-submitted job (which never
+			// passes through handleOptimize), or the instant between a job
+			// finishing and the submitting handler registering the holder.
+			// Rendered live, so StoredBytes reflects the current layout.
 			info.Result = s.optimizeResponse(snap.Result)
 		}
 	}
@@ -338,9 +373,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobInfo(snap))
 }
 
+// hotListSize bounds the hot-version list GET /stats reports.
+const hotListSize = 10
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.repo.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Versions:     st.Versions,
 		Branches:     st.Branches,
 		Materialized: st.Materialized,
@@ -349,5 +387,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxChainHops: st.MaxChainHops,
 		CacheHits:    st.CacheHits,
 		CacheMisses:  st.CacheMisses,
-	})
+		Accesses:     st.Accesses,
+		WeightedPhi:  s.repo.WeightedPhi(),
+	}
+	for _, h := range s.repo.HotVersions(hotListSize) {
+		resp.Hot = append(resp.Hot, HotVersion{ID: h.Version, Count: h.Count})
+	}
+	if s.tuner != nil {
+		status := s.tuner.Status()
+		resp.Autotune = &status
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -71,6 +71,7 @@ package versiondb
 import (
 	"context"
 
+	"versiondb/internal/autotune"
 	"versiondb/internal/costs"
 	"versiondb/internal/jobs"
 	"versiondb/internal/repo"
@@ -306,6 +307,37 @@ func InitRepoBackend(b Backend) (*Repo, error) { return repo.InitBackend(b) }
 
 // OpenRepoBackend opens an existing repository from an arbitrary backend.
 func OpenRepoBackend(b Backend) (*Repo, error) { return repo.OpenBackend(b) }
+
+// AccessStats is the per-version access telemetry (decaying counters)
+// behind workload-aware optimization; every Repo maintains one and
+// persists it through the backend's MetaStore. Reach it via
+// Repo.AccessStats.
+type AccessStats = store.AccessStats
+
+// VersionAccess is one version's decayed access count, as returned by
+// Repo.HotVersions.
+type VersionAccess = store.VersionAccess
+
+// AutotunePolicy configures the auto-optimization loop: how often to
+// evaluate, the commit-count and Φ-drift thresholds that trigger a
+// background re-layout, the debounce/backoff pacing, and the solver auto
+// jobs run.
+type AutotunePolicy = autotune.Policy
+
+// AutotuneStatus is a race-free copy of the policy engine's externally
+// visible state (trigger inputs, job counts, last outcome).
+type AutotuneStatus = autotune.Status
+
+// AutotuneEngine watches a repository and submits background re-layouts
+// through a job manager when its policy triggers. The HTTP server runs one
+// when started with the autotune option; embedders can drive their own.
+type AutotuneEngine = autotune.Engine
+
+// NewAutotuneEngine returns an engine evaluating p against r, submitting
+// jobs through m. Start its loop with Run, or call Tick directly.
+func NewAutotuneEngine(r *Repo, m *JobManager, p AutotunePolicy) *AutotuneEngine {
+	return autotune.New(r, m, p)
+}
 
 // Preset names the paper's evaluation datasets (DC, LC, BF, LF).
 type Preset = workload.Preset

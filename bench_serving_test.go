@@ -1,0 +1,196 @@
+// Serving-path benchmarks: the fast lane a production deployment actually
+// feels — concurrent cold checkouts coalescing onto one chain replay,
+// byte-budgeted cache behavior under skewed payload sizes, and the O(n)
+// memoized Φ accounting the autotune drift trigger polls. Run:
+//
+//	go test -bench 'Serving|ConcurrentColdCheckout|WeightedPhi|CheckoutHotVsCold' -benchtime=1x -run xxx .
+//
+// With BENCH_SERVING_OUT=BENCH_serving.json the run writes a small JSON
+// report of every serving benchmark's metrics — the start of the perf
+// trajectory CI uploads as an artifact on every push.
+package versiondb_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// servingReport collects metrics from serving benchmarks for the
+// BENCH_serving.json trajectory file; guarded by servingMu since
+// sub-benchmarks may run from different goroutines.
+var (
+	servingMu     sync.Mutex
+	servingResult = map[string]map[string]float64{}
+)
+
+// recordServing files one benchmark's metrics into the report (and
+// reports them to the benchmark framework as well).
+func recordServing(b *testing.B, metrics map[string]float64) {
+	b.Helper()
+	row := map[string]float64{
+		"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}
+	for k, v := range metrics {
+		b.ReportMetric(v, k)
+		row[k] = v
+	}
+	servingMu.Lock()
+	servingResult[b.Name()] = row
+	servingMu.Unlock()
+}
+
+// writeServingReport renders the collected metrics as deterministic JSON.
+func writeServingReport(path string) error {
+	servingMu.Lock()
+	defer servingMu.Unlock()
+	if len(servingResult) == 0 {
+		return nil // -bench was not run; leave any existing report alone
+	}
+	names := make([]string, 0, len(servingResult))
+	for n := range servingResult {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type entry struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	report := struct {
+		Go      string  `json:"go"`
+		Cpus    int     `json:"cpus"`
+		Results []entry `json:"results"`
+	}{Go: runtime.Version(), Cpus: runtime.NumCPU()}
+	for _, n := range names {
+		report.Results = append(report.Results, entry{Name: n, Metrics: servingResult[n]})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if out := os.Getenv("BENCH_SERVING_OUT"); out != "" && code == 0 {
+		if err := writeServingReport(out); err != nil {
+			fmt.Fprintln(os.Stderr, "writing serving report:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// BenchmarkConcurrentColdCheckout is the thundering-herd scenario: many
+// goroutines demand the same cold version at once. Singleflight
+// materialization coalesces them onto one chain replay — deltas/op stays
+// at one chain's worth (≈ versions-1) instead of workers × chain. The
+// exact-coalescing property (one replay, asserted deterministically with
+// a gated backend) is proved by TestConcurrentColdCheckoutsCoalesce in
+// internal/store; this benchmark tracks the wall-clock and I/O trajectory.
+func BenchmarkConcurrentColdCheckout(b *testing.B) {
+	const versions = 24
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := chainRepo(b, versions)
+			start := r.DeltaApplications()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// A fresh byte-budgeted cache makes every iteration cold
+				// without rebuilding the repository.
+				r.EnableCacheBytes(1 << 20)
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := r.Checkout(versions - 1); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			deltasPerOp := float64(r.DeltaApplications()-start) / float64(b.N)
+			recordServing(b, map[string]float64{
+				"deltas/op": deltasPerOp,
+				"workers":   float64(workers),
+			})
+			// Coalescing bound: one chain replay per cold iteration, not
+			// one per worker. (Assertion lives here too so the perf
+			// trajectory cannot silently regress into herd behavior.)
+			if deltasPerOp > float64(versions) {
+				b.Fatalf("deltas/op = %.1f, want ≤ %d (one chain replay per iteration)", deltasPerOp, versions)
+			}
+		})
+	}
+}
+
+// BenchmarkWeightedPhi times the Φ-drift metric the autotune engine polls
+// on a timer. The memoized cold-cost DP makes it O(n) with near-zero
+// allocations; the memo-vs-walk gap itself is measured by
+// BenchmarkColdCostAccounting in internal/store.
+func BenchmarkWeightedPhi(b *testing.B) {
+	for _, versions := range []int{64, 256} {
+		b.Run(fmt.Sprintf("versions=%d", versions), func(b *testing.B) {
+			r := chainRepo(b, versions)
+			// Skew the telemetry so the weighted path (not the uniform
+			// shortcut) is exercised.
+			for i := 0; i < 32; i++ {
+				if _, err := r.Checkout(versions - 1 - i%8); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var phi float64
+			for i := 0; i < b.N; i++ {
+				phi = r.WeightedPhi()
+			}
+			b.StopTimer()
+			if phi <= 0 {
+				b.Fatal("WeightedPhi returned a non-positive estimate")
+			}
+			recordServing(b, map[string]float64{"phi_bytes": phi})
+		})
+	}
+}
+
+// BenchmarkByteBudgetServing drives a skewed checkout workload through a
+// byte-budgeted cache sized to hold only part of the working set, so
+// admission and eviction are continuously exercised — the regime `vmsd
+// -cache-bytes` runs in production.
+func BenchmarkByteBudgetServing(b *testing.B) {
+	const versions = 32
+	r := chainRepo(b, versions)
+	// Budget ≈ a handful of payloads: the hot head fits, the tail churns.
+	r.EnableCacheBytes(8 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := versions - 1 - i%4 // hot head
+		if i%7 == 0 {
+			v = i % versions // occasional tail scan
+		}
+		if _, err := r.Checkout(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m := r.CacheMetrics()
+	if m.BytesResident > m.BudgetBytes {
+		b.Fatalf("resident %d bytes exceeds budget %d", m.BytesResident, m.BudgetBytes)
+	}
+	recordServing(b, map[string]float64{
+		"hit_ratio":      m.HitRatio(),
+		"resident_bytes": float64(m.BytesResident),
+		"evictions":      float64(m.Evictions),
+	})
+}

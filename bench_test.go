@@ -190,7 +190,7 @@ func BenchmarkCheckoutHotVsCold(b *testing.B) {
 			}
 			b.StopTimer()
 			applied := r.DeltaApplications() - start
-			b.ReportMetric(float64(applied)/float64(b.N), "deltas/op")
+			recordServing(b, map[string]float64{"deltas/op": float64(applied) / float64(b.N)})
 			if tc.cache > 0 && applied > versions-1 {
 				b.Fatalf("hot path applied %d deltas across %d checkouts; cache not effective", applied, b.N)
 			}

@@ -26,11 +26,13 @@
 // the process mid-rewrite. Weight-consuming solvers (lmg) pick up access
 // telemetry automatically; -no-auto-weights forces the uniform objective.
 //
-// stats reports the physical state plus the access telemetry feeding
-// workload-aware optimization: total recorded accesses, the weighted
-// recreation estimate Φ_w, the hottest versions, and — against an
-// auto-tuned vmsd — the autotune engine's trigger inputs and last
-// outcome.
+// stats reports the physical state plus the serving-path telemetry —
+// cache occupancy (entries and bytes), hit ratio, evictions, and backend
+// blob reads, the numbers a byte-budget tuner watches — the access
+// telemetry feeding workload-aware optimization (total recorded accesses,
+// the weighted recreation estimate Φ_w, the hottest versions), and —
+// against an auto-tuned vmsd — the autotune engine's trigger inputs and
+// last outcome.
 //
 // Against a server, `optimize -async` queues the re-layout as a background
 // job and prints its id immediately — the server solves off-lock and swaps
@@ -39,9 +41,12 @@
 // finishes), and `-cancel J` stops one server-side.
 //
 // Replace -dir D with -server URL to run against a vmsd instance. The
-// global -cache N flag bounds the local checkout LRU (0 disables); -backend
-// mem swaps the filesystem store for a fresh in-memory one, which only
-// lives for a single invocation and is meant for smoke tests.
+// global -cache N flag bounds the local checkout LRU in versions
+// (0 disables); -cache-bytes B bounds it in payload bytes instead and wins
+// over -cache — the byte budget is a hard ceiling, and payloads larger
+// than the whole budget bypass admission. -backend mem swaps the
+// filesystem store for a fresh in-memory one, which only lives for a
+// single invocation and is meant for smoke tests.
 package main
 
 import (
@@ -74,6 +79,7 @@ func run(args []string) error {
 	server := global.String("server", "", "vmsd server URL (e.g. http://localhost:7420)")
 	backend := global.String("backend", "fs", "local storage backend: fs or mem (mem is per-invocation, for smoke tests)")
 	cache := global.Int("cache", 0, "checkout LRU capacity in versions (0 disables)")
+	cacheBytes := global.Int64("cache-bytes", 0, "checkout LRU budget in payload bytes (0 disables; wins over -cache)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -95,10 +101,10 @@ func run(args []string) error {
 	if *dir == "" && *backend == "fs" {
 		return fmt.Errorf("one of -dir or -server is required")
 	}
-	return runLocal(*dir, *backend, *cache, cmd, rest)
+	return runLocal(*dir, *backend, *cache, *cacheBytes, cmd, rest)
 }
 
-func runLocal(dir, backend string, cache int, cmd string, args []string) error {
+func runLocal(dir, backend string, cache int, cacheBytes int64, cmd string, args []string) error {
 	openRepo := func() (*repo.Repo, error) {
 		if backend == "mem" {
 			return repo.InitBackend(store.NewMemStore())
@@ -120,7 +126,11 @@ func runLocal(dir, backend string, cache int, cmd string, args []string) error {
 	if err != nil {
 		return err
 	}
-	r.EnableCache(cache)
+	if cacheBytes > 0 {
+		r.EnableCacheBytes(cacheBytes)
+	} else {
+		r.EnableCache(cache)
+	}
 	switch cmd {
 	case "commit", "merge":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -188,6 +198,12 @@ func runLocal(dir, backend string, cache int, cmd string, args []string) error {
 		fmt.Printf("stored bytes:   %d\n", st.StoredBytes)
 		fmt.Printf("logical bytes:  %d\n", st.LogicalBytes)
 		fmt.Printf("max chain hops: %d\n", st.MaxChainHops)
+		fmt.Printf("cache:          %d entries, %d bytes", st.CacheEntries, st.CacheBytes)
+		if st.CacheBudgetBytes > 0 {
+			fmt.Printf(" (budget %d)", st.CacheBudgetBytes)
+		}
+		fmt.Printf(", hit ratio %s, %d evictions\n", hitRatio(st.CacheHits, st.CacheMisses), st.CacheEvictions)
+		fmt.Printf("blob reads:     %d\n", st.BlobReads)
 		fmt.Printf("accesses:       %d\n", st.Accesses)
 		fmt.Printf("weighted Φ:     %.0f\n", r.WeightedPhi())
 		if hot := r.HotVersions(5); len(hot) > 0 {
@@ -303,6 +319,11 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 		}
 		fmt.Printf("versions=%d branches=%d materialized=%d stored=%d logical=%d maxChain=%d\n",
 			st.Versions, st.Branches, st.Materialized, st.StoredBytes, st.LogicalBytes, st.MaxChainHops)
+		fmt.Printf("cache: entries=%d bytes=%d", st.CacheEntries, st.CacheBytes)
+		if st.CacheBudgetBytes > 0 {
+			fmt.Printf(" budget=%d", st.CacheBudgetBytes)
+		}
+		fmt.Printf(" hitRatio=%.3f evictions=%d blobReads=%d\n", st.CacheHitRatio, st.CacheEvictions, st.BlobReads)
 		fmt.Printf("accesses=%d weightedΦ=%.0f\n", st.Accesses, st.WeightedPhi)
 		if len(st.Hot) > 0 {
 			fmt.Printf("hot:")
@@ -441,6 +462,14 @@ func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, bool, error) {
 		Theta: *theta, Alpha: *alpha, Iters: *iters, RevealHops: *hops, Compress: *compress,
 		NoAutoWeights: *noWeights,
 	}, *async, nil
+}
+
+// hitRatio renders hits/(hits+misses) for humans, "n/a" before any lookup.
+func hitRatio(hits, misses uint64) string {
+	if hits+misses == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", store.CacheStats{Hits: hits, Misses: misses}.HitRatio())
 }
 
 func printLog(versions []repo.VersionInfo) {

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem] [-cache N] [-jobs N]
+//	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem]
+//	     [-cache N] [-cache-bytes B] [-jobs N]
 //	     [-autotune] [-autotune-interval D] [-autotune-commits N]
 //	     [-autotune-drift F] [-autotune-solver S]
 //
@@ -12,8 +13,13 @@
 // concurrency-safe in-memory repository (no -dir needed, contents die with
 // the process — useful for caching tiers and load tests). -cache bounds
 // the LRU of materialized versions that lets hot checkouts skip
-// delta-chain replay. -jobs bounds how many background optimize jobs
-// (POST /optimize?async=1) run concurrently; excess submissions queue.
+// delta-chain replay, counted in versions; -cache-bytes bounds it in
+// payload bytes instead (a hard memory envelope — payloads larger than
+// the whole budget bypass admission) and wins over -cache when both are
+// set. GET /stats reports cache bytes, hit ratio, evictions and backend
+// blob reads so the budget can be tuned against live traffic. -jobs
+// bounds how many background optimize jobs (POST /optimize?async=1) run
+// concurrently; excess submissions queue.
 //
 // -autotune closes the workload-aware loop: every -autotune-interval the
 // server compares the access-weighted recreation cost of the current
@@ -44,6 +50,7 @@ func main() {
 	doInit := flag.Bool("init", false, "initialize a fresh repository at -dir")
 	backend := flag.String("backend", "fs", "storage backend: fs or mem")
 	cache := flag.Int("cache", 64, "checkout LRU capacity in versions (0 disables)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "checkout LRU budget in payload bytes (0 disables; wins over -cache)")
 	jobWorkers := flag.Int("jobs", 0, "max concurrent background optimize jobs (0 = default)")
 	tune := flag.Bool("autotune", false, "auto-submit background re-layouts from commit/drift triggers")
 	tuneInterval := flag.Duration("autotune-interval", 30*time.Second, "how often the autotune policy evaluates")
@@ -73,7 +80,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("vmsd: %v", err)
 	}
-	r.EnableCache(*cache)
+	cacheDesc := fmt.Sprintf("cache %d versions", *cache)
+	if *cacheBytes > 0 {
+		r.EnableCacheBytes(*cacheBytes)
+		cacheDesc = fmt.Sprintf("cache %d bytes", *cacheBytes)
+	} else {
+		r.EnableCache(*cache)
+	}
 	opts := []vcs.ServerOption{vcs.WithJobWorkers(*jobWorkers)}
 	if *tune {
 		opts = append(opts, vcs.WithAutotune(autotune.Policy{
@@ -84,8 +97,8 @@ func main() {
 		}))
 	}
 	srv := vcs.NewServer(r, opts...)
-	fmt.Printf("vmsd: serving %s backend on %s (%d versions, cache %d, autotune %v)\n",
-		*backend, *addr, r.NumVersions(), *cache, *tune)
+	fmt.Printf("vmsd: serving %s backend on %s (%d versions, %s, autotune %v)\n",
+		*backend, *addr, r.NumVersions(), cacheDesc, *tune)
 	// ListenAndServe only ever returns an error; stop the autotune loop,
 	// cancel background jobs and wait for them before exiting (log.Fatal
 	// would skip defers).

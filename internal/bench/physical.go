@@ -94,6 +94,9 @@ func physicalRow(payloads [][]byte, sol *solve.Solution) (PhysicalRow, error) {
 	}
 	var measured float64
 	maxChain := 0
+	// One memoized O(n) pass over the cold-cost DP instead of a chain walk
+	// per version — the same accounting WeightedPhi and /stats read.
+	work, hops := layout.ChainCosts()
 	for v := range payloads {
 		got, err := layout.Checkout(v)
 		if err != nil {
@@ -102,9 +105,12 @@ func physicalRow(payloads [][]byte, sol *solve.Solution) (PhysicalRow, error) {
 		if string(got) != string(payloads[v]) {
 			return PhysicalRow{}, fmt.Errorf("version %d not byte-identical after layout", v)
 		}
-		measured += float64(layout.CheckoutWork(v))
-		if c := layout.ChainLength(v); c > maxChain {
-			maxChain = c
+		if work[v] < 0 {
+			return PhysicalRow{}, fmt.Errorf("version %d reports a corrupt delta chain", v)
+		}
+		measured += float64(work[v])
+		if hops[v] > maxChain {
+			maxChain = hops[v]
 		}
 	}
 	row := PhysicalRow{

@@ -78,7 +78,17 @@ type Repo struct {
 	metaStore store.MetaStore
 	layout    *store.Layout
 	meta      meta
-	cacheSize int // checkout LRU capacity, re-applied after Optimize
+	// Checkout LRU configuration, re-applied to the fresh layout after
+	// every Optimize swap. cacheBytes > 0 selects the byte-budgeted mode
+	// and wins over cacheSize; cacheSize > 0 is the version-count
+	// compatibility mode.
+	cacheSize  int
+	cacheBytes int64
+
+	// retiredBlobReads accumulates the backend blob reads of layouts
+	// retired by Optimize swaps, so BlobReads stays monotonic across
+	// re-layouts (each fresh layout starts its own counter at zero).
+	retiredBlobReads atomic.Int64
 
 	// stats is the access telemetry feeding workload-aware optimization:
 	// checkouts and commits record per-version counters (with exponential
@@ -181,18 +191,47 @@ func emptyLayout(b store.Backend) *store.Layout {
 }
 
 // EnableCache installs a bounded LRU of materialized versions on the
-// checkout path (n ≤ 0 disables it). The setting survives Optimize, which
-// rebuilds the layout — the fresh layout starts with an empty cache of the
-// same capacity, since old payload associations are stale.
+// checkout path, counted in versions (n ≤ 0 disables it) — the
+// compatibility mode. The setting survives Optimize, which rebuilds the
+// layout — the fresh layout starts with an empty cache of the same
+// capacity, since old payload associations are stale.
 func (r *Repo) EnableCache(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.cacheSize = n
-	r.layout.SetCache(store.NewVersionCache(n))
+	r.cacheSize, r.cacheBytes = n, 0
+	r.layout.SetCache(r.newCacheLocked())
+}
+
+// EnableCacheBytes installs a byte-budgeted LRU on the checkout path:
+// resident payloads never sum to more than budget bytes, and payloads
+// larger than the whole budget bypass admission (budget ≤ 0 disables the
+// cache). Like EnableCache, the setting survives Optimize.
+func (r *Repo) EnableCacheBytes(budget int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cacheSize, r.cacheBytes = 0, budget
+	r.layout.SetCache(r.newCacheLocked())
+}
+
+// newCacheLocked builds a fresh cache per the configured mode; callers
+// hold the write lock.
+func (r *Repo) newCacheLocked() *store.VersionCache {
+	if r.cacheBytes > 0 {
+		return store.NewVersionCacheBytes(r.cacheBytes)
+	}
+	return store.NewVersionCache(r.cacheSize)
 }
 
 // CacheStats returns cumulative checkout-cache hits and misses.
 func (r *Repo) CacheStats() (hits, misses uint64) {
+	m := r.CacheMetrics()
+	return m.Hits, m.Misses
+}
+
+// CacheMetrics returns the full checkout-cache counter snapshot —
+// hits, misses, evictions, resident entries and bytes, and the configured
+// bounds. All zeros when the cache is disabled.
+func (r *Repo) CacheMetrics() store.CacheStats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.layout.Cache().Stats()
@@ -204,6 +243,15 @@ func (r *Repo) DeltaApplications() int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.layout.DeltaApplications()
+}
+
+// BlobReads returns the cumulative number of backend blob fetches the
+// serving path has performed, across layout swaps: cold checkout I/O that
+// the cache and checkout coalescing did not absorb.
+func (r *Repo) BlobReads() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.retiredBlobReads.Load() + r.layout.BlobReads()
 }
 
 // save persists meta and layout; callers hold the write lock (or have
@@ -385,8 +433,10 @@ func (r *Repo) Repack() (string, error) {
 	return rp.Repack()
 }
 
-// Checkout reconstructs version v's payload. With a cache enabled the
-// returned slice may be shared; treat it as read-only.
+// Checkout reconstructs version v's payload. The returned slice may be
+// shared — with the cache, and across concurrent checkouts of the same
+// version coalescing onto one materialization — so always treat it as
+// read-only.
 func (r *Repo) Checkout(v int) ([]byte, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -419,13 +469,28 @@ type Stats struct {
 	SumChainHops int
 	CacheHits    uint64
 	CacheMisses  uint64
+	// CacheEvictions counts entries the checkout LRU pushed out to stay
+	// within its bound (versions or bytes).
+	CacheEvictions uint64
+	// CacheEntries and CacheBytes are the LRU's current occupancy;
+	// CacheBudgetBytes is the configured byte budget (0 in version-count
+	// mode or with the cache disabled).
+	CacheEntries     int
+	CacheBytes       int64
+	CacheBudgetBytes int64
+	// BlobReads is the cumulative number of backend blob fetches on the
+	// serving path, across layout swaps — the cold-checkout I/O the cache
+	// and coalescing did not absorb.
+	BlobReads int64
 	// Accesses is the raw (undecayed) number of version accesses the
 	// telemetry layer has recorded — checkouts plus commit
 	// materializations.
 	Accesses uint64
 }
 
-// Stats computes the current storage statistics.
+// Stats computes the current storage statistics. Chain statistics come
+// from the layout's memoized cold-cost accounting — one O(n) pass, not a
+// chain walk per version.
 func (r *Repo) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -434,14 +499,20 @@ func (r *Repo) Stats() Stats {
 		Branches:     len(r.meta.Branches),
 		Materialized: r.layout.NumMaterialized(),
 		StoredBytes:  r.layout.StoredBytes(),
+		BlobReads:    r.retiredBlobReads.Load() + r.layout.BlobReads(),
 	}
-	st.CacheHits, st.CacheMisses = r.layout.Cache().Stats()
+	cs := r.layout.Cache().Stats()
+	st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	st.CacheEntries, st.CacheBytes, st.CacheBudgetBytes = cs.Entries, cs.BytesResident, cs.BudgetBytes
 	st.Accesses = r.stats.Total()
 	for _, v := range r.meta.Versions {
 		st.LogicalBytes += v.Size
 	}
-	for v := range r.meta.Versions {
-		h := r.layout.ChainLength(v)
+	_, hops := r.layout.ChainCosts()
+	for _, h := range hops {
+		if h < 0 {
+			continue // corrupt chain; surfaced by checkout errors, not stats
+		}
 		st.SumChainHops += h
 		if h > st.MaxChainHops {
 			st.MaxChainHops = h
@@ -474,9 +545,11 @@ func (r *Repo) HotVersions(k int) []store.VersionAccess { return r.stats.TopK(k)
 // each version's cold checkout work (stored bytes read and applied along
 // its delta chain — the physical Φ). With no telemetry it is the plain
 // mean. The estimate reads only layout metadata (no blob I/O) under the
-// read lock; the autotune policy engine compares it across time to detect
-// Φ-drift — the hot set wandering away from what the last re-layout
-// optimized for, or fresh commits deepening chains.
+// read lock, from the layout's memoized cold-cost DP — O(n) total rather
+// than O(n·chain) — so the autotune policy engine can evaluate it on a
+// timer without ever stalling the serving path. Autotune compares it
+// across time to detect Φ-drift — the hot set wandering away from what
+// the last re-layout optimized for, or fresh commits deepening chains.
 func (r *Repo) WeightedPhi() float64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -485,13 +558,17 @@ func (r *Repo) WeightedPhi() float64 {
 		return 0
 	}
 	w := r.stats.Weights(n)
+	work, _ := r.layout.ChainCosts()
 	var sum, wsum float64
 	for v := 0; v < n; v++ {
+		if work[v] < 0 {
+			continue // corrupt chain; excluded rather than poisoning the mean
+		}
 		wv := 1.0
 		if w != nil {
 			wv = w[v]
 		}
-		sum += wv * float64(r.layout.CheckoutWork(v))
+		sum += wv * float64(work[v])
 		wsum += wv
 	}
 	if wsum == 0 {
@@ -778,7 +855,7 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 		return nil, fmt.Errorf("repo: optimize: %d versions committed during solve: %w",
 			len(r.meta.Versions)-n, ErrOptimizeConflict)
 	}
-	newLayout.SetCache(store.NewVersionCache(r.cacheSize))
+	newLayout.SetCache(r.newCacheLocked())
 	oldLayout := r.layout
 	r.layout = newLayout
 	if err := r.save(); err != nil {
@@ -787,6 +864,9 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 		r.layout = oldLayout
 		return nil, err
 	}
+	// Fold the retired layout's I/O counter into the running total so
+	// BlobReads stays monotonic across swaps.
+	r.retiredBlobReads.Add(oldLayout.BlobReads())
 	return res, nil
 }
 

@@ -10,15 +10,26 @@ import (
 // Φ: a checkout whose version (or any chain ancestor) is cached replays
 // only the deltas below the cached node — zero for an exact hit.
 //
+// The cache is bounded one of two ways. The compatibility mode bounds the
+// *number* of resident payloads (NewVersionCache); the byte-budget mode
+// bounds the *sum of payload sizes* (NewVersionCacheBytes), which is what
+// a memory envelope actually wants — a few large payloads can no longer
+// crowd the budget silently while tiny ones under-use it. In byte-budget
+// mode a payload larger than the whole budget bypasses admission entirely:
+// caching it would evict every other resident entry for a single version
+// that cannot be hot enough to deserve the whole envelope.
+//
 // The cache is safe for concurrent use. Cached payloads are shared, not
 // copied; callers must treat checkout results as read-only.
 type VersionCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[int]*list.Element
+	mu          sync.Mutex
+	capVersions int        // > 0 bounds entry count (compatibility mode)
+	budgetBytes int64      // > 0 bounds Σ len(payload) (byte-budget mode)
+	bytes       int64      // resident payload bytes
+	ll          *list.List // front = most recently used
+	items       map[int]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type cacheItem struct {
@@ -26,13 +37,48 @@ type cacheItem struct {
 	payload []byte
 }
 
-// NewVersionCache returns an LRU holding at most capacity payloads.
-// Capacity ≤ 0 yields a nil cache, meaning "disabled".
+// CacheStats is a point-in-time snapshot of a VersionCache's counters and
+// occupancy. Hits and Misses are cumulative lookup outcomes; Evictions
+// counts entries pushed out by either bound (refreshes and oversized
+// bypasses are not evictions). BytesResident ≤ BudgetBytes holds whenever
+// BudgetBytes > 0 — the budget is a hard ceiling, not a target.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Entries       int
+	BytesResident int64
+	BudgetBytes   int64 // 0 in version-count mode
+	CapVersions   int   // 0 in byte-budget mode
+}
+
+// HitRatio returns hits / (hits + misses), 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewVersionCache returns an LRU holding at most capacity payloads — the
+// version-count compatibility mode. Capacity ≤ 0 yields a nil cache,
+// meaning "disabled".
 func NewVersionCache(capacity int) *VersionCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &VersionCache{cap: capacity, ll: list.New(), items: map[int]*list.Element{}}
+	return &VersionCache{capVersions: capacity, ll: list.New(), items: map[int]*list.Element{}}
+}
+
+// NewVersionCacheBytes returns an LRU whose resident payloads never sum to
+// more than budget bytes. Budget ≤ 0 yields a nil cache, meaning
+// "disabled".
+func NewVersionCacheBytes(budget int64) *VersionCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &VersionCache{budgetBytes: budget, ll: list.New(), items: map[int]*list.Element{}}
 }
 
 // Get returns the cached payload for v, promoting it to most recently
@@ -53,25 +99,118 @@ func (c *VersionCache) Get(v int) ([]byte, bool) {
 	return el.Value.(*cacheItem).payload, true
 }
 
-// Put inserts or refreshes v's payload, evicting the least recently used
-// entry when over capacity.
+// Put inserts or refreshes v's payload, evicting least recently used
+// entries until both bounds hold. In byte-budget mode a payload larger
+// than the entire budget is not admitted (and evicts a stale entry for the
+// same version rather than refreshing it).
 func (c *VersionCache) Put(v int, payload []byte) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.budgetBytes > 0 && int64(len(payload)) > c.budgetBytes {
+		// Oversized: bypass admission. A previously cached (smaller)
+		// payload for the same version is now stale — drop it.
+		if el, ok := c.items[v]; ok {
+			c.removeLocked(el)
+		}
+		return
+	}
 	if el, ok := c.items[v]; ok {
-		el.Value.(*cacheItem).payload = payload
+		it := el.Value.(*cacheItem)
+		c.bytes += int64(len(payload)) - int64(len(it.payload))
+		it.payload = payload
 		c.ll.MoveToFront(el)
+		c.evictToBoundsLocked()
 		return
 	}
 	c.items[v] = c.ll.PushFront(&cacheItem{v: v, payload: payload})
-	if c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheItem).v)
+	c.bytes += int64(len(payload))
+	c.evictToBoundsLocked()
+}
+
+// TryPut admits v's payload only if it fits without evicting any resident
+// entry — the opportunistic admission used for intermediate chain nodes,
+// which must never flush the hot set to make room for themselves (a deep
+// cold chain would otherwise cycle the whole LRU). An already-resident v
+// is promoted to most recently used without rewriting its bytes (version
+// payloads are immutable content). Reports whether v is resident
+// afterwards.
+func (c *VersionCache) TryPut(v int, payload []byte) bool {
+	if c == nil {
+		return false
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[v]; ok {
+		c.ll.MoveToFront(el)
+		return true
+	}
+	if c.capVersions > 0 && c.ll.Len() >= c.capVersions {
+		return false
+	}
+	if c.budgetBytes > 0 && c.bytes+int64(len(payload)) > c.budgetBytes {
+		return false
+	}
+	c.items[v] = c.ll.PushFront(&cacheItem{v: v, payload: payload})
+	c.bytes += int64(len(payload))
+	return true
+}
+
+// evictToBoundsLocked drops LRU entries until both configured bounds hold;
+// the caller holds c.mu.
+func (c *VersionCache) evictToBoundsLocked() {
+	for c.ll.Len() > 0 {
+		over := (c.capVersions > 0 && c.ll.Len() > c.capVersions) ||
+			(c.budgetBytes > 0 && c.bytes > c.budgetBytes)
+		if !over {
+			return
+		}
+		c.removeLocked(c.ll.Back())
+		c.evictions++
+	}
+}
+
+// removeLocked unlinks one entry and releases its byte charge; the caller
+// holds c.mu.
+func (c *VersionCache) removeLocked(el *list.Element) {
+	it := el.Value.(*cacheItem)
+	c.ll.Remove(el)
+	delete(c.items, it.v)
+	c.bytes -= int64(len(it.payload))
+}
+
+// getQuiet behaves like Get — returning and promoting v's payload — but
+// records no hit/miss: for re-probes of a version whose lookup was
+// already counted on the checkout fast path.
+func (c *VersionCache) getQuiet(v int) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[v]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).payload, true
+}
+
+// peek returns v's payload without promoting it or counting the lookup
+// (introspection for tests and invariants).
+func (c *VersionCache) peek(v int) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[v]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheItem).payload, true
 }
 
 // Len returns the number of cached payloads.
@@ -84,12 +223,31 @@ func (c *VersionCache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats returns cumulative hit and miss counts.
-func (c *VersionCache) Stats() (hits, misses uint64) {
+// Bytes returns the resident payload bytes.
+func (c *VersionCache) Bytes() int64 {
 	if c == nil {
-		return 0, 0
+		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.bytes
+}
+
+// Stats returns a snapshot of the cache's counters and occupancy. A nil
+// cache reports all zeros.
+func (c *VersionCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Entries:       c.ll.Len(),
+		BytesResident: c.bytes,
+		BudgetBytes:   c.budgetBytes,
+		CapVersions:   c.capVersions,
+	}
 }

@@ -29,9 +29,15 @@ func TestVersionCacheHitAndEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
-	hits, misses := c.Stats()
-	if hits != 3 || misses != 1 {
-		t.Errorf("stats = %d hits / %d misses, want 3/1", hits, misses)
+	cs := c.Stats()
+	if cs.Hits != 3 || cs.Misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 3/1", cs.Hits, cs.Misses)
+	}
+	if cs.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", cs.Evictions)
+	}
+	if cs.Entries != 2 || cs.CapVersions != 2 || cs.BudgetBytes != 0 {
+		t.Errorf("occupancy = %+v, want 2 entries in version-count mode", cs)
 	}
 	// Refreshing an existing key must not grow the cache.
 	c.Put(3, []byte("three'"))
@@ -55,8 +61,94 @@ func TestNilVersionCacheIsDisabled(t *testing.T) {
 	if c.Len() != 0 {
 		t.Errorf("nil cache Len != 0")
 	}
-	if h, m := c.Stats(); h != 0 || m != 0 {
-		t.Errorf("nil cache stats = %d/%d", h, m)
+	if cs := c.Stats(); cs != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v, want zeros", cs)
+	}
+	if c := NewVersionCacheBytes(0); c != nil {
+		t.Fatalf("byte budget 0 should yield nil cache")
+	}
+}
+
+// TestByteBudgetNeverExceeded: under a randomized put/get stress the
+// resident bytes never exceed the configured budget, and the tracked byte
+// count always equals the sum of the resident payload lengths.
+func TestByteBudgetNeverExceeded(t *testing.T) {
+	const budget = 1 << 12
+	c := NewVersionCacheBytes(budget)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			// Sizes straddle the budget so oversized bypass is exercised.
+			size := rng.Intn(budget + budget/2)
+			c.Put(rng.Intn(64), make([]byte, size))
+		case 2:
+			c.Get(rng.Intn(64))
+		}
+		cs := c.Stats()
+		if cs.BytesResident > budget {
+			t.Fatalf("op %d: resident %d bytes exceeds budget %d", i, cs.BytesResident, budget)
+		}
+		var sum int64
+		for v := 0; v < 64; v++ {
+			if p, ok := c.peek(v); ok {
+				sum += int64(len(p))
+			}
+		}
+		if sum != cs.BytesResident {
+			t.Fatalf("op %d: tracked %d bytes, actual resident %d", i, cs.BytesResident, sum)
+		}
+	}
+	if cs := c.Stats(); cs.Evictions == 0 {
+		t.Errorf("stress run recorded no evictions; budget never pressured")
+	}
+}
+
+// TestOversizedPayloadBypassesAdmission: a payload larger than the whole
+// budget must not be admitted — and must not evict the resident set to
+// make room for itself. A stale smaller payload under the same key is
+// dropped rather than refreshed.
+func TestOversizedPayloadBypassesAdmission(t *testing.T) {
+	c := NewVersionCacheBytes(100)
+	c.Put(1, make([]byte, 40))
+	c.Put(2, make([]byte, 40))
+	c.Put(3, make([]byte, 101)) // oversized: bypass
+	if _, ok := c.Get(3); ok {
+		t.Errorf("oversized payload was admitted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Errorf("oversized bypass evicted resident entry 1")
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Errorf("oversized bypass evicted resident entry 2")
+	}
+	// Refreshing an existing key with an oversized payload drops the stale
+	// entry instead of serving outdated bytes.
+	c.Put(2, make([]byte, 200))
+	if _, ok := c.Get(2); ok {
+		t.Errorf("stale entry survived an oversized refresh")
+	}
+	if cs := c.Stats(); cs.BytesResident != 40 {
+		t.Errorf("resident bytes = %d, want 40", cs.BytesResident)
+	}
+}
+
+// TestByteBudgetRefreshRecharges: refreshing a key with a different-size
+// payload recharges the byte account and re-evicts as needed.
+func TestByteBudgetRefreshRecharges(t *testing.T) {
+	c := NewVersionCacheBytes(100)
+	c.Put(1, make([]byte, 30))
+	c.Put(2, make([]byte, 30))
+	c.Put(1, make([]byte, 70)) // grows 1; 70+30 = 100 still fits
+	if cs := c.Stats(); cs.BytesResident != 100 || cs.Entries != 2 {
+		t.Fatalf("after refresh: %+v, want 100 bytes in 2 entries", c.Stats())
+	}
+	c.Put(1, make([]byte, 80)) // 80+30 > 100 → LRU (2) evicted
+	if _, ok := c.Get(2); ok {
+		t.Errorf("entry 2 survived over-budget refresh of 1")
+	}
+	if cs := c.Stats(); cs.BytesResident != 80 || cs.Entries != 1 {
+		t.Errorf("after over-budget refresh: %+v, want 80 bytes in 1 entry", cs)
 	}
 }
 
@@ -98,7 +190,7 @@ func TestCheckoutCacheSkipsDeltaReplay(t *testing.T) {
 	if d := l.DeltaApplications(); d != n-1 {
 		t.Errorf("hot checkout applied %d extra deltas, want 0", d-(n-1))
 	}
-	if hits, _ := l.Cache().Stats(); hits == 0 {
+	if cs := l.Cache().Stats(); cs.Hits == 0 {
 		t.Errorf("hot checkout did not hit the cache")
 	}
 }

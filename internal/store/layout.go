@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"versiondb/internal/delta"
@@ -22,17 +24,38 @@ type Entry struct {
 // Layout places n version payloads into a backend according to a storage
 // tree over the augmented graph (vertex 0 = dummy root, vertex i+1 =
 // version i). An optional VersionCache short-circuits checkouts: the delta
-// chain is replayed only below the nearest cached ancestor.
+// chain is replayed only below the nearest cached ancestor. Concurrent
+// cold checkouts of the same version coalesce onto a single chain
+// materialization (singleflight), so a thundering herd pays one replay.
 //
 // Concurrent checkouts are safe as long as Entries is not being mutated
 // at the same time; the repository layer serializes mutation behind its
 // write lock.
 type Layout struct {
-	backend Backend
-	cache   *VersionCache
-	deltas  atomic.Int64 // cumulative delta applications
+	backend   Backend
+	cache     *VersionCache
+	deltas    atomic.Int64 // cumulative delta applications
+	blobReads atomic.Int64 // cumulative backend blob fetches (serving path)
+
+	// flight coalesces concurrent cold checkouts of the same version: the
+	// first caller materializes, the rest wait for its result.
+	flightMu sync.Mutex
+	flight   map[int]*flightCall
+
+	// memo caches the per-version cold-cost DP (CheckoutWork/ChainLength).
+	// Entries are append-only and immutable, so a memo covering a prefix
+	// of Entries stays valid forever; a length mismatch means "extend".
+	memo atomic.Pointer[chainMemo]
 
 	Entries []Entry `json:"entries"`
+}
+
+// flightCall is one in-flight chain materialization; done is closed when
+// payload/err are set.
+type flightCall struct {
+	done    chan struct{}
+	payload []byte
+	err     error
 }
 
 // BuildLayout writes every version into the backend per the tree: children
@@ -91,24 +114,81 @@ func (l *Layout) Cache() *VersionCache { return l.cache }
 
 // DeltaApplications returns the cumulative number of deltas this layout
 // has applied across all checkouts — the observable share of Φ actually
-// paid. A fully cache-served checkout adds zero.
+// paid. A fully cache-served or coalesced checkout adds zero.
 func (l *Layout) DeltaApplications() int64 { return l.deltas.Load() }
+
+// BlobReads returns the cumulative number of blobs this layout has fetched
+// from the backend on the serving path — the physical I/O behind cold
+// checkouts. Cache hits and coalesced waiters add zero.
+func (l *Layout) BlobReads() int64 { return l.blobReads.Load() }
 
 // Checkout reconstructs version v by walking its delta chain down from the
 // nearest materialized ancestor — or the nearest cached one, whichever
-// comes first. Results land in the cache; callers must treat the returned
-// slice as read-only when a cache is installed.
+// comes first. Concurrent checkouts of the same cold version coalesce onto
+// one materialization; intermediate chain nodes are opportunistically
+// admitted to the cache so a later checkout of a sibling pays only the
+// chain suffix below the shared ancestor. Results land in the cache;
+// callers must treat the returned slice as read-only.
 func (l *Layout) Checkout(v int) ([]byte, error) {
 	if v < 0 || v >= len(l.Entries) {
 		return nil, fmt.Errorf("store: checkout version %d out of range [0,%d)", v, len(l.Entries))
 	}
+	// Fast path: exact cache hit, no coordination at all.
+	if p, ok := l.cache.Get(v); ok {
+		return p, nil
+	}
+	return l.checkoutCold(v)
+}
+
+// checkoutCold coalesces concurrent materializations of v: the first
+// caller replays the chain, later callers block on its flightCall and
+// share the result (and its error, if any — a transient backend fault is
+// reported to the whole herd rather than retried N times concurrently).
+func (l *Layout) checkoutCold(v int) ([]byte, error) {
+	l.flightMu.Lock()
+	if fl, ok := l.flight[v]; ok {
+		l.flightMu.Unlock()
+		<-fl.done
+		return fl.payload, fl.err
+	}
+	fl := &flightCall{done: make(chan struct{})}
+	if l.flight == nil {
+		l.flight = map[int]*flightCall{}
+	}
+	l.flight[v] = fl
+	l.flightMu.Unlock()
+
+	// Deferred cleanup so a panic below (e.g. in a third-party backend)
+	// cannot leave a stale flight entry wedging every future checkout of
+	// v and hanging the waiters already blocked on done.
+	defer func() {
+		l.flightMu.Lock()
+		delete(l.flight, v)
+		l.flightMu.Unlock()
+		close(fl.done)
+	}()
+	fl.payload, fl.err = l.materialize(v)
+	return fl.payload, fl.err
+}
+
+// materialize replays v's delta chain from the nearest cached or
+// materialized ancestor, admitting every intermediate node to the cache.
+func (l *Layout) materialize(v int) ([]byte, error) {
 	// Collect the chain base → ... → v, stopping early at a cache hit.
+	// The probe for v itself is uncounted: the fast path already recorded
+	// this logical lookup's miss, and double-counting would deflate the
+	// hit ratio operators tune the byte budget against. (The re-probe
+	// still matters: a leader racing a just-finished flight finds the
+	// freshly admitted payload here.)
 	var chain []int
 	var cur []byte
-	fromCache := false
 	for u := v; ; u = l.Entries[u].Parent {
-		if p, ok := l.cache.Get(u); ok {
-			cur, fromCache = p, true
+		probe := l.cache.Get
+		if u == v {
+			probe = l.cache.getQuiet
+		}
+		if p, ok := probe(u); ok {
+			cur = p
 			break
 		}
 		chain = append(chain, u)
@@ -117,6 +197,9 @@ func (l *Layout) Checkout(v int) ([]byte, error) {
 		}
 		if len(chain) > len(l.Entries) {
 			return nil, fmt.Errorf("store: delta chain cycle at version %d", v)
+		}
+		if p := l.Entries[u].Parent; p < 0 || p >= len(l.Entries) {
+			return nil, fmt.Errorf("store: checkout %d: version %d chains to %d out of range", v, u, p)
 		}
 	}
 	for i := len(chain) - 1; i >= 0; i-- {
@@ -127,31 +210,36 @@ func (l *Layout) Checkout(v int) ([]byte, error) {
 		}
 		if l.Entries[u].Materialized {
 			cur = blob
-			continue
+		} else {
+			cur, err = delta.ApplyEncoded(blob, cur)
+			if err != nil {
+				return nil, fmt.Errorf("store: checkout %d: applying delta for %d: %w", v, u, err)
+			}
+			l.deltas.Add(1)
 		}
-		cur, err = delta.ApplyEncoded(blob, cur)
-		if err != nil {
-			return nil, fmt.Errorf("store: checkout %d: applying delta for %d: %w", v, u, err)
+		// Opportunistic admission: a sibling checking out later replays
+		// only the suffix below the deepest admitted node. Intermediates
+		// take spare room only (TryPut) — a deep cold chain must not
+		// flush the hot set — while v itself, the version actually
+		// requested, is admitted unconditionally and ends up most
+		// recently used.
+		if u == v {
+			l.cache.Put(u, cur)
+		} else {
+			l.cache.TryPut(u, cur)
 		}
-		l.deltas.Add(1)
-	}
-	if !fromCache || len(chain) > 0 {
-		l.cache.Put(v, cur)
 	}
 	return cur, nil
 }
 
+// blobOf fetches and decodes one blob on the serving path, counting it
+// toward the BlobReads telemetry.
 func (l *Layout) blobOf(v int) ([]byte, error) {
-	blob, err := l.backend.Get(l.Entries[v].Blob)
-	if err != nil {
-		return nil, err
+	blob, err := l.blobOfQuiet(v)
+	if err == nil {
+		l.blobReads.Add(1)
 	}
-	if l.Entries[v].Compressed {
-		if blob, err = delta.Decompress(blob); err != nil {
-			return nil, fmt.Errorf("store: version %d: %w", v, err)
-		}
-	}
-	return blob, nil
+	return blob, err
 }
 
 // Snapshot returns a cache-free view over the layout's current entries,
@@ -166,84 +254,254 @@ func (l *Layout) Snapshot() *Layout {
 	return &Layout{backend: l.backend, Entries: l.Entries[:n:n]}
 }
 
-// CheckoutAll materializes every version, memoizing intermediate chain
-// nodes so each delta is applied at most once (O(total entries) work,
-// versus O(n × chain) for n independent Checkouts). It bypasses the cache
-// entirely and does not count toward DeltaApplications — it is bulk-scan
-// machinery (Optimize snapshots), not serving-path work. ctx is checked
-// once per version; cancellation returns ctx.Err().
+// checkoutAllWorkers bounds the CheckoutAll worker pool: enough to keep
+// the backend busy, few enough not to monopolize the host during a
+// background optimize snapshot.
+func checkoutAllWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CheckoutAll materializes every version once, walking the storage forest
+// top-down with a bounded worker pool: materialized versions are roots,
+// and a version becomes ready the moment its parent's payload exists, so
+// independent subtrees materialize in parallel and each delta is applied
+// exactly once (O(total entries) work, versus O(n × chain) for n
+// independent Checkouts). It bypasses the cache entirely and does not
+// count toward DeltaApplications or BlobReads — it is bulk-scan machinery
+// (Optimize snapshots), not serving-path work. Cancellation returns
+// ctx.Err(); corrupt parent chains (cycles, out-of-range parents) are
+// reported as errors rather than hanging the scan.
 func (l *Layout) CheckoutAll(ctx context.Context) ([][]byte, error) {
 	n := len(l.Entries)
 	out := make([][]byte, n)
+	if n == 0 {
+		return out, nil
+	}
+	// children[p] lists the delta entries based on p; roots are the
+	// materialized versions. An out-of-range parent is corrupt metadata.
+	children := make([][]int, n)
+	var roots []int
 	for v := 0; v < n; v++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if out[v] != nil {
+		if l.Entries[v].Materialized {
+			roots = append(roots, v)
 			continue
 		}
-		// Walk up to the nearest already-materialized ancestor.
-		var chain []int
-		u := v
-		for {
-			if u < 0 || u >= n {
-				return nil, fmt.Errorf("store: checkout-all: version %d chains to %d out of range", v, u)
-			}
-			if out[u] != nil || l.Entries[u].Materialized {
-				break
-			}
-			chain = append(chain, u)
-			u = l.Entries[u].Parent
-			if len(chain) > n {
-				return nil, fmt.Errorf("store: delta chain cycle at version %d", v)
-			}
+		p := l.Entries[v].Parent
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("store: checkout-all: version %d chains to %d out of range", v, p)
 		}
-		cur := out[u]
-		if cur == nil { // u is materialized but not yet loaded
-			blob, err := l.blobOf(u)
-			if err != nil {
-				return nil, err
-			}
-			cur = blob
-			out[u] = cur
+		children[p] = append(children[p], v)
+	}
+	// Every version must be reachable from a materialized root, or the
+	// walk below would wait forever for work that can never become ready.
+	// Each non-root has exactly one parent, so this BFS visits each
+	// version at most once; the shortfall is exactly the cycle members.
+	reach := append([]int(nil), roots...)
+	for qi := 0; qi < len(reach); qi++ {
+		reach = append(reach, children[reach[qi]]...)
+	}
+	if len(reach) != n {
+		return nil, fmt.Errorf("store: checkout-all: delta chain cycle (%d of %d versions unreachable)", n-len(reach), n)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ready := make(chan int, n) // every version is enqueued at most once
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	var firstErr atomic.Pointer[error]
+	fail := func(err error) {
+		e := err
+		if firstErr.CompareAndSwap(nil, &e) {
+			cancel()
 		}
-		for i := len(chain) - 1; i >= 0; i-- {
-			w := chain[i]
-			blob, err := l.blobOf(w)
-			if err != nil {
-				return nil, err
+	}
+	for _, r := range roots {
+		ready <- r
+	}
+	var wg sync.WaitGroup
+	for w := checkoutAllWorkers(); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case v, ok := <-ready:
+					if !ok {
+						return
+					}
+					blob, err := l.blobOfQuiet(v)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if l.Entries[v].Materialized {
+						out[v] = blob
+					} else {
+						// The parent's payload is complete: v was enqueued
+						// by the worker that finished it.
+						cur, err := delta.ApplyEncoded(blob, out[l.Entries[v].Parent])
+						if err != nil {
+							fail(fmt.Errorf("store: checkout-all %d: applying delta: %w", v, err))
+							return
+						}
+						out[v] = cur
+					}
+					for _, c := range children[v] {
+						ready <- c
+					}
+					if remaining.Add(-1) == 0 {
+						close(ready)
+					}
+				}
 			}
-			if cur, err = delta.ApplyEncoded(blob, cur); err != nil {
-				return nil, fmt.Errorf("store: checkout-all %d: applying delta for %d: %w", v, w, err)
-			}
-			out[w] = cur
-		}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil && firstErr.Load() == nil {
+		return nil, err
+	}
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
 	}
 	return out, nil
 }
 
-// CheckoutWork returns the total stored bytes read and applied to
-// reconstruct v — the physical counterpart of the model's recreation cost
-// Φ (materialized payload plus every delta on the chain). The cache is
-// deliberately ignored: this is the cold cost.
-func (l *Layout) CheckoutWork(v int) int64 {
-	var work int64
-	for u := v; ; u = l.Entries[u].Parent {
-		work += int64(l.Entries[u].StoredBytes)
-		if l.Entries[u].Materialized {
-			return work
+// blobOfQuiet fetches and decodes one blob without counting toward the
+// serving-path BlobReads telemetry (bulk-scan use).
+func (l *Layout) blobOfQuiet(v int) ([]byte, error) {
+	blob, err := l.backend.Get(l.Entries[v].Blob)
+	if err != nil {
+		return nil, err
+	}
+	if l.Entries[v].Compressed {
+		if blob, err = delta.Decompress(blob); err != nil {
+			return nil, fmt.Errorf("store: version %d: %w", v, err)
 		}
 	}
+	return blob, nil
+}
+
+// chainMemo holds the cold-cost DP over a prefix of Entries: work[v] is
+// the stored bytes read and applied by a cold checkout of v (work[v] =
+// work[parent] + storedBytes[v]), hops[v] the deltas applied. Corrupt
+// chains (cycles, out-of-range parents) carry -1. The struct is immutable
+// once published.
+type chainMemo struct {
+	work []int64
+	hops []int
+}
+
+// chainCosts returns the memoized DP, extending it when commits have
+// appended entries since it was built. Entries are append-only and
+// immutable, so a memo for a prefix never goes stale; racing extensions
+// compute identical results and the last Store wins.
+func (l *Layout) chainCosts() *chainMemo {
+	n := len(l.Entries)
+	m := l.memo.Load()
+	if m != nil && len(m.work) == n {
+		return m
+	}
+	fresh := &chainMemo{work: make([]int64, n), hops: make([]int, n)}
+	covered := 0
+	if m != nil && len(m.work) < n {
+		covered = copy(fresh.work, m.work)
+		copy(fresh.hops, m.hops)
+	}
+	// state: 0 = unresolved, 1 = on the current walk, 2 = resolved.
+	state := make([]uint8, n)
+	for v := 0; v < covered; v++ {
+		state[v] = 2
+	}
+	stack := make([]int, 0, 16)
+	for v := covered; v < n; v++ {
+		if state[v] == 2 {
+			continue
+		}
+		// Walk up until a resolved node, a materialized root, or a node
+		// already on this walk (a cycle); then fold costs back down.
+		stack = stack[:0]
+		u := v
+		bad := false
+		for {
+			if u < 0 || u >= n || state[u] == 1 {
+				bad = true // out-of-range parent or cycle
+				break
+			}
+			if state[u] == 2 {
+				bad = fresh.work[u] < 0
+				break
+			}
+			state[u] = 1
+			stack = append(stack, u)
+			if l.Entries[u].Materialized {
+				// Base of the chain: resolve it directly.
+				fresh.work[u] = int64(l.Entries[u].StoredBytes)
+				fresh.hops[u] = 0
+				state[u] = 2
+				stack = stack[:len(stack)-1]
+				bad = false
+				break
+			}
+			u = l.Entries[u].Parent
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			if bad {
+				fresh.work[w], fresh.hops[w] = -1, -1
+			} else {
+				p := l.Entries[w].Parent
+				fresh.work[w] = fresh.work[p] + int64(l.Entries[w].StoredBytes)
+				fresh.hops[w] = fresh.hops[p] + 1
+			}
+			state[w] = 2
+		}
+	}
+	l.memo.Store(fresh)
+	return fresh
+}
+
+// CheckoutWork returns the total stored bytes read and applied to
+// reconstruct v cold — the physical counterpart of the model's recreation
+// cost Φ (materialized payload plus every delta on the chain). The cache
+// is deliberately ignored: this is the cold cost. Results are memoized
+// (one O(n) DP per layout, extended incrementally after commits), so bulk
+// consumers like WeightedPhi and Stats pay O(1) per version instead of
+// O(chain). A corrupt parent chain (cycle or out-of-range parent) returns
+// -1 instead of looping forever.
+func (l *Layout) CheckoutWork(v int) int64 {
+	if v < 0 || v >= len(l.Entries) {
+		return -1
+	}
+	return l.chainCosts().work[v]
 }
 
 // ChainLength returns the number of deltas applied when checking out v
-// cold (cache ignored).
+// cold (cache ignored), memoized like CheckoutWork. A corrupt parent
+// chain returns -1.
 func (l *Layout) ChainLength(v int) int {
-	n := 0
-	for u := v; !l.Entries[u].Materialized; u = l.Entries[u].Parent {
-		n++
+	if v < 0 || v >= len(l.Entries) {
+		return -1
 	}
-	return n
+	return l.chainCosts().hops[v]
+}
+
+// ChainCosts returns the memoized per-version cold checkout work (stored
+// bytes) and chain lengths (deltas applied) for every version, in one
+// O(n) pass. Corrupt chains carry -1. Callers must not mutate the
+// returned slices.
+func (l *Layout) ChainCosts() (work []int64, hops []int) {
+	m := l.chainCosts()
+	return m.work, m.hops
 }
 
 // StoredBytes sums the physical footprint of all entries.

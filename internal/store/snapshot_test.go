@@ -70,8 +70,8 @@ func TestSnapshotIsolatedFromAppendsAndCache(t *testing.T) {
 	}
 	// The bulk scan must not have populated (or counted against) the live
 	// cache, and the snapshot itself has none.
-	if hits, misses := l.Cache().Stats(); hits != 0 || misses != 0 {
-		t.Errorf("live cache touched by snapshot scan: hits=%d misses=%d", hits, misses)
+	if cs := l.Cache().Stats(); cs.Hits != 0 || cs.Misses != 0 {
+		t.Errorf("live cache touched by snapshot scan: hits=%d misses=%d", cs.Hits, cs.Misses)
 	}
 	if view.Cache() != nil {
 		t.Errorf("snapshot carries a cache")

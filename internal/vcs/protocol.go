@@ -140,6 +140,25 @@ type StatsResponse struct {
 	MaxChainHops int    `json:"max_chain_hops"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
+	// CacheHitRatio is hits / (hits + misses), 0 before any lookup.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// CacheEvictions counts entries the checkout LRU pushed out to stay
+	// within its bound (versions or bytes).
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// CacheEntries and CacheBytes report the LRU's current occupancy;
+	// CacheBudgetBytes is the configured byte budget (0 when the cache
+	// runs in version-count mode or is disabled). CacheBytes never
+	// exceeds CacheBudgetBytes when a budget is set — the observable
+	// contract behind `vmsd -cache-bytes`.
+	CacheEntries     int   `json:"cache_entries"`
+	CacheBytes       int64 `json:"cache_bytes"`
+	CacheBudgetBytes int64 `json:"cache_budget_bytes,omitempty"`
+	// BlobReads is the cumulative number of backend blob fetches on the
+	// serving path, across layout swaps — the cold-checkout I/O the cache
+	// and checkout coalescing did not absorb. The ratio of BlobReads to
+	// Accesses is the backend amplification a byte-budget tuner wants to
+	// drive down.
+	BlobReads int64 `json:"blob_reads"`
 	// Accesses is the raw number of version accesses recorded by the
 	// telemetry layer (checkouts plus commit materializations).
 	Accesses uint64 `json:"accesses"`

@@ -14,6 +14,7 @@ import (
 	"versiondb/internal/jobs"
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
+	"versiondb/internal/store"
 )
 
 // Server serves one repository over HTTP. Concurrency control lives in the
@@ -379,17 +380,23 @@ const hotListSize = 10
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.repo.Stats()
 	resp := StatsResponse{
-		Versions:     st.Versions,
-		Branches:     st.Branches,
-		Materialized: st.Materialized,
-		StoredBytes:  st.StoredBytes,
-		LogicalBytes: st.LogicalBytes,
-		MaxChainHops: st.MaxChainHops,
-		CacheHits:    st.CacheHits,
-		CacheMisses:  st.CacheMisses,
-		Accesses:     st.Accesses,
-		WeightedPhi:  s.repo.WeightedPhi(),
+		Versions:         st.Versions,
+		Branches:         st.Branches,
+		Materialized:     st.Materialized,
+		StoredBytes:      st.StoredBytes,
+		LogicalBytes:     st.LogicalBytes,
+		MaxChainHops:     st.MaxChainHops,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		CacheEvictions:   st.CacheEvictions,
+		CacheEntries:     st.CacheEntries,
+		CacheBytes:       st.CacheBytes,
+		CacheBudgetBytes: st.CacheBudgetBytes,
+		BlobReads:        st.BlobReads,
+		Accesses:         st.Accesses,
+		WeightedPhi:      s.repo.WeightedPhi(),
 	}
+	resp.CacheHitRatio = store.CacheStats{Hits: st.CacheHits, Misses: st.CacheMisses}.HitRatio()
 	for _, h := range s.repo.HotVersions(hotListSize) {
 		resp.Hot = append(resp.Hot, HotVersion{ID: h.Version, Count: h.Count})
 	}

@@ -134,6 +134,50 @@ func TestOptimizeAndStatsOverHTTP(t *testing.T) {
 	}
 }
 
+// TestServingStatsOverHTTP: the serving-path telemetry — cache occupancy
+// in bytes, hit ratio, evictions, backend blob reads — reaches the wire,
+// so a byte budget can be tuned against a live server.
+func TestServingStatsOverHTTP(t *testing.T) {
+	r, err := repo.Init(t.TempDir())
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	r.EnableCacheBytes(1 << 20)
+	srv := httptest.NewServer(NewServer(r).Handler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Commit(repo.DefaultBranch, payload(t, int64(20+i), 30+i), "v"); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	if _, err := c.Checkout(3); err != nil {
+		t.Fatalf("Checkout: %v", err)
+	}
+	if _, err := c.Checkout(3); err != nil { // hot: drives the hit ratio up
+		t.Fatalf("Checkout: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.CacheBudgetBytes != 1<<20 {
+		t.Errorf("cache_budget_bytes = %d, want %d", st.CacheBudgetBytes, 1<<20)
+	}
+	if st.CacheEntries == 0 || st.CacheBytes == 0 {
+		t.Errorf("cache occupancy missing from stats: %+v", st)
+	}
+	if st.CacheBytes > st.CacheBudgetBytes {
+		t.Errorf("cache_bytes %d exceeds budget %d", st.CacheBytes, st.CacheBudgetBytes)
+	}
+	if st.CacheHitRatio <= 0 || st.CacheHitRatio >= 1 {
+		t.Errorf("cache_hit_ratio = %v, want in (0,1) after a hot repeat", st.CacheHitRatio)
+	}
+	if st.BlobReads <= 0 {
+		t.Errorf("blob_reads = %d, want > 0 after cold checkouts", st.BlobReads)
+	}
+}
+
 func TestServerErrorsSurfaceToClient(t *testing.T) {
 	c := newClientServer(t)
 	if _, err := c.Checkout(0); err == nil {

@@ -57,15 +57,22 @@
 // for serving replicas and tests:
 //
 //	r, _ := versiondb.InitRepoBackend(versiondb.NewMemStore())
-//	r.EnableCache(64) // LRU of materialized versions
+//	r.EnableCache(64)            // LRU counted in versions, or:
+//	r.EnableCacheBytes(64 << 20) // LRU under a hard byte budget
 //
-// Checkout cost is the paper's recreation cost Φ; EnableCache bounds the
-// effective Φ on the hot path with an LRU of materialized versions, so a
-// repeat checkout (or one whose chain passes a cached ancestor) skips
-// delta replay partially or entirely. A Repo is a multi-reader service:
-// checkouts, logs and stats proceed in parallel under a read lock while
-// commits, merges and optimizations serialize behind the write lock; the
-// HTTP server (internal/vcs) delegates concurrency control to the Repo.
+// Checkout cost is the paper's recreation cost Φ; the checkout LRU bounds
+// the effective Φ on the hot path, so a repeat checkout (or one whose
+// chain passes a cached ancestor) skips delta replay partially or
+// entirely. EnableCache bounds the LRU by version count; EnableCacheBytes
+// bounds it by resident payload bytes — a hard memory envelope under
+// which payloads larger than the whole budget bypass admission.
+// Concurrent cold checkouts of the same version coalesce onto a single
+// chain materialization, and intermediate chain nodes are admitted to the
+// cache so sibling checkouts pay only their chain suffix. A Repo is a
+// multi-reader service: checkouts, logs and stats proceed in parallel
+// under a read lock while commits, merges and optimizations serialize
+// behind the write lock; the HTTP server (internal/vcs) delegates
+// concurrency control to the Repo.
 package versiondb
 
 import (
@@ -233,8 +240,15 @@ type ObjectStore = store.ObjectStore
 type MemStore = store.MemStore
 
 // VersionCache is the bounded LRU of materialized versions used on the
-// checkout path.
+// checkout path — bounded by version count (NewVersionCache /
+// Repo.EnableCache) or by resident payload bytes (NewVersionCacheBytes /
+// Repo.EnableCacheBytes).
 type VersionCache = store.VersionCache
+
+// CacheStats is a snapshot of a VersionCache's counters and occupancy
+// (hits, misses, evictions, resident entries and bytes, configured
+// bounds); see Repo.CacheMetrics.
+type CacheStats = store.CacheStats
 
 // NewMemStore returns an empty in-memory backend.
 func NewMemStore() *MemStore { return store.NewMemStore() }

@@ -3,7 +3,7 @@
 // byte-budgeted cache behavior under skewed payload sizes, and the O(n)
 // memoized Φ accounting the autotune drift trigger polls. Run:
 //
-//	go test -bench 'Serving|ConcurrentColdCheckout|WeightedPhi|CheckoutHotVsCold' -benchtime=1x -run xxx .
+//	go test -bench 'Serving|ConcurrentColdCheckout|WeightedPhi|CheckoutHotVsCold|StreamingCheckout' -benchtime=1x -run xxx .
 //
 // With BENCH_SERVING_OUT=BENCH_serving.json the run writes a small JSON
 // report of every serving benchmark's metrics — the start of the perf
@@ -11,13 +11,19 @@
 package versiondb_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"testing"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/store"
 )
 
 // servingReport collects metrics from serving benchmarks for the
@@ -193,4 +199,115 @@ func BenchmarkByteBudgetServing(b *testing.B) {
 		"resident_bytes": float64(m.BytesResident),
 		"evictions":      float64(m.Evictions),
 	})
+}
+
+// bigChainRepo commits versions in a line where every payload is rows
+// ~100-byte CSV lines (so rows ≈ payload KiB × 10), each version editing a
+// handful of lines — the regime where a delta chain is deep or a payload is
+// large while the deltas stay small. The checkout cache stays disabled so
+// every measured op pays the full reconstruction.
+func bigChainRepo(b *testing.B, versions, rows int) *repo.Repo {
+	b.Helper()
+	r, err := repo.InitBackend(store.NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	lines := make([]string, rows)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("row-%08d,%016x,%016x,%016x,%016x,%016x", i, rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64())
+	}
+	var buf bytes.Buffer
+	for v := 0; v < versions; v++ {
+		if v > 0 {
+			for k := 0; k < 4; k++ {
+				lines[rng.Intn(rows)] = fmt.Sprintf("edit-%04d-%d,%016x", v, k, rng.Uint64())
+			}
+		}
+		buf.Reset()
+		for _, l := range lines {
+			buf.WriteString(l)
+			buf.WriteByte('\n')
+		}
+		if _, err := r.Commit(repo.DefaultBranch, append([]byte(nil), buf.Bytes()...), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// memPerOp runs fn b.N times and returns (bytes/op, allocs/op) measured via
+// runtime.MemStats deltas — unlike b.ReportAllocs this lets the benchmark
+// assert on the numbers, which is how the streaming-vs-buffered memory gap
+// is kept from regressing silently.
+func memPerOp(b *testing.B, fn func()) (bytesOp, allocsOp float64) {
+	b.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N),
+		float64(after.Mallocs-before.Mallocs) / float64(b.N)
+}
+
+// BenchmarkStreamingCheckout pits the zero-copy checkout stream against the
+// buffered path on the two shapes that hurt it most: one large payload
+// behind a short chain (per-request memory should be windows, not the
+// payload) and a deep chain over a medium payload (memory should stay flat
+// in chain depth, one bufio window per stage). The buffered run records its
+// bytes/op first; the streaming run then asserts the ≥10× separation on the
+// large payload, so the memory property is CI-enforced, not just plotted.
+func BenchmarkStreamingCheckout(b *testing.B) {
+	scenarios := []struct {
+		name     string
+		versions int
+		rows     int
+		assert   bool // streaming must beat buffered ≥10× in bytes/op
+	}{
+		{"payload=8MiB_chain=4", 4, 84000, true},
+		{"payload=1MiB_chain=48", 48, 10500, false},
+	}
+	for _, sc := range scenarios {
+		r := bigChainRepo(b, sc.versions, sc.rows)
+		tip := sc.versions - 1
+		payload, err := r.Checkout(tip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wantLen := int64(len(payload))
+		var bufferedBytes float64
+		b.Run(sc.name+"/buffered", func(b *testing.B) {
+			bytesOp, allocsOp := memPerOp(b, func() {
+				p, err := r.Checkout(tip)
+				if err != nil || int64(len(p)) != wantLen {
+					b.Fatalf("Checkout: %v (len %d)", err, len(p))
+				}
+			})
+			bufferedBytes = bytesOp
+			recordServing(b, map[string]float64{"bytes/op": bytesOp, "allocs/op": allocsOp})
+		})
+		b.Run(sc.name+"/streaming", func(b *testing.B) {
+			window := make([]byte, 64<<10)
+			bytesOp, allocsOp := memPerOp(b, func() {
+				rc, size, err := r.CheckoutStream(tip)
+				if err != nil {
+					b.Fatalf("CheckoutStream: %v", err)
+				}
+				n, err := io.CopyBuffer(io.Discard, rc, window)
+				rc.Close()
+				if err != nil || n != wantLen || size != wantLen {
+					b.Fatalf("drain: %v (%d of %d bytes, size %d)", err, n, wantLen, size)
+				}
+			})
+			recordServing(b, map[string]float64{"bytes/op": bytesOp, "allocs/op": allocsOp})
+			if sc.assert && bufferedBytes > 0 && bytesOp*10 > bufferedBytes {
+				b.Fatalf("streaming allocates %.0f B/op vs buffered %.0f B/op — less than the required 10× separation", bytesOp, bufferedBytes)
+			}
+		})
+	}
 }

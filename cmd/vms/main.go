@@ -26,6 +26,11 @@
 // the process mid-rewrite. Weight-consuming solvers (lmg) pick up access
 // telemetry automatically; -no-auto-weights forces the uniform objective.
 //
+// checkout streams the payload to -out (or stdout) through a fixed-size
+// copy buffer — locally from the repository's reader stack, remotely from
+// GET /checkout/raw's raw body — so checking out a payload larger than
+// client memory works.
+//
 // stats reports the physical state plus the serving-path telemetry —
 // cache occupancy (entries and bytes), hit ratio, evictions, and backend
 // blob reads, the numbers a byte-budget tuner watches — the access
@@ -53,6 +58,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -173,15 +179,11 @@ func runLocal(dir, backend string, cache int, cacheBytes int64, cmd string, args
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
-		payload, err := r.Checkout(*v)
+		rc, _, err := r.CheckoutStream(*v)
 		if err != nil {
 			return err
 		}
-		if *out == "" {
-			_, err = os.Stdout.Write(payload)
-			return err
-		}
-		return os.WriteFile(*out, payload, 0o644)
+		return writeStream(rc, *out)
 	case "log":
 		printLog(r.Log())
 	case "repack":
@@ -297,15 +299,11 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
-		payload, err := c.Checkout(*v)
+		rc, _, err := c.CheckoutStream(*v)
 		if err != nil {
 			return err
 		}
-		if *out == "" {
-			_, err = os.Stdout.Write(payload)
-			return err
-		}
-		return os.WriteFile(*out, payload, 0o644)
+		return writeStream(rc, *out)
 	case "log":
 		versions, err := c.Log()
 		if err != nil {
@@ -462,6 +460,26 @@ func parseOptimizeFlags(args []string) (vcs.OptimizeRequest, bool, error) {
 		Theta: *theta, Alpha: *alpha, Iters: *iters, RevealHops: *hops, Compress: *compress,
 		NoAutoWeights: *noWeights,
 	}, *async, nil
+}
+
+// writeStream drains a checkout stream to the -out file (or stdout),
+// copying through a fixed buffer so the payload never sits in process
+// memory whole — the CLI analogue of the server's raw body path. The
+// partial output file of a failed copy is left in place for inspection,
+// matching what a failed os.WriteFile could also leave behind.
+func writeStream(rc io.ReadCloser, out string) error {
+	defer rc.Close()
+	dst := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	_, err := io.Copy(dst, rc)
+	return err
 }
 
 // hitRatio renders hits/(hits+misses) for humans, "n/a" before any lookup.

@@ -15,8 +15,34 @@ package delta
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
+
+// streamEqualsBuffered asserts the reader path agrees with the buffered
+// path for a line delta: same success/error outcome, same bytes. The
+// robustness half of the contract rides along — a corrupt enc or src must
+// error from Read, never panic or hang.
+func streamEqualsBuffered(t *testing.T, enc, src []byte) {
+	t.Helper()
+	want, wantErr := ApplyEncoded(enc, src)
+	got, gotErr := io.ReadAll(ApplyReader(enc, bytes.NewReader(src)))
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("stream/buffered disagree on error: stream=%v buffered=%v", gotErr, wantErr)
+	}
+	if wantErr == nil && !bytes.Equal(normalizeEmpty(got), normalizeEmpty(want)) {
+		t.Fatalf("stream apply: got %q, want %q", got, want)
+	}
+}
+
+// normalizeEmpty maps the empty slice to nil: io.ReadAll returns []byte{}
+// where the buffered path returns nil for empty payloads.
+func normalizeEmpty(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
 
 // canonicalLines is the line codec's normal form: what any apply of a
 // line delta reconstructs.
@@ -106,15 +132,22 @@ func FuzzLineDiffRoundTrip(f *testing.F) {
 			t.Fatalf("one-way apply: got %q, want %q", got, wantB)
 		}
 
+		// The reader path must agree with the buffered path byte for byte,
+		// for both encodings.
+		streamEqualsBuffered(t, enc2, a)
+		streamEqualsBuffered(t, enc1, a)
+
 		// Robustness: the raw inputs are (almost certainly) not valid
 		// encodings; decoding and applying them must error or succeed, but
-		// never panic.
+		// never panic — on the buffered and the reader path alike.
 		if _, _, err := Decode(a); err == nil {
 			_, _ = ApplyEncoded(a, b)
 		}
 		if _, _, err := Decode(b); err == nil {
 			_, _ = ApplyEncoded(b, a)
 		}
+		streamEqualsBuffered(t, a, b)
+		streamEqualsBuffered(t, b, a)
 	})
 }
 
@@ -133,9 +166,20 @@ func FuzzBinDeltaRoundTrip(f *testing.F) {
 		if !bytes.Equal(got, target) {
 			t.Fatalf("binary round trip: got %d bytes, want %d", len(got), len(target))
 		}
-		// Robustness: arbitrary bytes as a delta must never panic.
+		// Reader path: same reconstruction from a streamed source.
+		gotS, err := io.ReadAll(ApplyBinaryReader(d, bytes.NewReader(source)))
+		if err != nil {
+			t.Fatalf("ApplyBinaryReader(BinaryDiff(...)): %v", err)
+		}
+		if !bytes.Equal(gotS, target) {
+			t.Fatalf("binary stream round trip: got %d bytes, want %d", len(gotS), len(target))
+		}
+		// Robustness: arbitrary bytes as a delta must never panic, buffered
+		// or streamed.
 		_, _ = ApplyBinary(target, source)
 		_, _ = ApplyBinary(source, target)
+		_, _ = io.ReadAll(ApplyBinaryReader(target, bytes.NewReader(source)))
+		_, _ = io.ReadAll(ApplyBinaryReader(source, bytes.NewReader(target)))
 	})
 }
 
@@ -161,9 +205,27 @@ func FuzzXORRoundTrip(f *testing.F) {
 		if !bytes.Equal(gotA, a) {
 			t.Fatalf("XOR b→a: got %q, want %q", gotA, a)
 		}
-		// Robustness: arbitrary bytes as a delta must never panic.
+		// Reader path: symmetric like the buffered one.
+		gotBS, err := io.ReadAll(ApplyXORReader(d, bytes.NewReader(a)))
+		if err != nil {
+			t.Fatalf("ApplyXORReader(d, a): %v", err)
+		}
+		if !bytes.Equal(normalizeEmpty(gotBS), normalizeEmpty(b)) {
+			t.Fatalf("XOR stream a→b: got %q, want %q", gotBS, b)
+		}
+		gotAS, err := io.ReadAll(ApplyXORReader(d, bytes.NewReader(b)))
+		if err != nil {
+			t.Fatalf("ApplyXORReader(d, b): %v", err)
+		}
+		if !bytes.Equal(normalizeEmpty(gotAS), normalizeEmpty(a)) {
+			t.Fatalf("XOR stream b→a: got %q, want %q", gotAS, a)
+		}
+		// Robustness: arbitrary bytes as a delta must never panic, buffered
+		// or streamed.
 		_, _ = ApplyXOR(a, b)
 		_, _ = ApplyXOR(b, a)
+		_, _ = io.ReadAll(ApplyXORReader(a, bytes.NewReader(b)))
+		_, _ = io.ReadAll(ApplyXORReader(b, bytes.NewReader(a)))
 	})
 }
 

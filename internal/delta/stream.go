@@ -1,0 +1,547 @@
+package delta
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reader-based delta application. Each Apply*Reader returns a reader that
+// produces exactly the bytes its buffered counterpart would, without ever
+// materializing the source or target: a delta chain composes into a stack
+// of readers where each stage holds only the (small) decoded delta plus one
+// bounded window of its input. That turns checkout memory from
+// O(payload × chain) into O(window × chain) — the property the streaming
+// serving path is built on. Corrupt or truncated deltas and sources
+// surface as errors from Read, never as hangs or unbounded allocation.
+
+// applyReaderBufSize is the copy-through window of the line-delta reader:
+// large enough to amortize syscalls on big payloads, small enough that a
+// deep composed stack stays cheap.
+const applyReaderBufSize = 32 << 10
+
+// errReader delivers a construction-time failure on first Read, so the
+// Apply*Reader constructors can keep a reader-only signature.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// ApplyReader returns a reader applying the encoded line delta enc to the
+// source streamed from src. The output is byte-identical to
+// ApplyEncoded(enc, src-bytes), including the trailing-newline
+// normalization of SplitLines/JoinLines; two-way deltas get the same
+// deleted-content context check, one-way deltas consume counts only.
+func ApplyReader(enc []byte, src io.Reader) io.Reader {
+	d, oneWay, err := Decode(enc)
+	if err != nil {
+		return errReader{err}
+	}
+	return &lineApplyReader{
+		src:    bufio.NewReaderSize(src, applyReaderBufSize),
+		hunks:  d.Hunks,
+		twoWay: !oneWay,
+	}
+}
+
+// lineApplyReader states. The machine moves copy → hunk → del → ins → copy
+// per hunk, with tail emitting the final normalized newline before either
+// finishing or (for an insert-at-end hunk after a newline-less source)
+// entering the hunk.
+const (
+	larCopy = iota // copy source lines through until the next hunk
+	larHunk        // begin hunks[hi]: validate position, set up deletion
+	larDel         // consume (and for two-way, check) deleted source lines
+	larIns         // emit inserted lines
+	larTail        // emit the final normalized '\n', then tailNext
+	larDone
+)
+
+// lineApplyReader streams a line-delta application. It tracks positions in
+// completed source lines (pos), with mid marking a partially copied line;
+// the source's final line may lack its newline (SplitLines counts it as a
+// line anyway), which EOF handling completes.
+type lineApplyReader struct {
+	src    *bufio.Reader
+	hunks  []Hunk
+	twoWay bool
+
+	state    int
+	tailNext int  // state after larTail
+	hi       int  // current hunk index
+	pos      int  // completed source lines consumed
+	mid      bool // partway through copying source line pos
+
+	delLeft int  // source lines the current hunk still deletes
+	delMid  bool // partway through the current deleted line
+	delOff  int  // matched bytes of the expected deleted line (two-way)
+
+	insIdx int // next Ins line to emit
+	insOff int // emitted bytes of hunks[hi].Ins[insIdx]
+
+	err error
+}
+
+func (r *lineApplyReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	n := 0
+	for n < len(p) && r.state != larDone {
+		var err error
+		switch r.state {
+		case larCopy:
+			n, err = r.copyStep(p, n)
+		case larHunk:
+			err = r.startHunk()
+		case larDel:
+			if r.delLeft == 0 {
+				r.insIdx, r.insOff = 0, 0
+				r.state = larIns
+			} else {
+				err = r.delStep()
+			}
+		case larIns:
+			n = r.insStep(p, n)
+		case larTail:
+			p[n] = '\n'
+			n++
+			r.state = r.tailNext
+		}
+		if err != nil {
+			r.err = err
+			if n > 0 {
+				return n, nil // error surfaces on the next call
+			}
+			return 0, err
+		}
+	}
+	if n == 0 {
+		if r.state == larDone {
+			return 0, io.EOF
+		}
+		return 0, nil // zero-length p
+	}
+	return n, nil
+}
+
+// window returns the buffered source bytes, filling the buffer first when
+// it is empty. io.EOF means the source is exhausted.
+func (r *lineApplyReader) window() ([]byte, error) {
+	if b := r.src.Buffered(); b > 0 {
+		return r.src.Peek(b)
+	}
+	if _, err := r.src.Peek(1); err != nil {
+		return nil, err
+	}
+	return r.src.Peek(r.src.Buffered())
+}
+
+// copyStep copies whole source lines through to p until the next hunk's
+// position (or EOF after the last hunk), advancing pos/mid as lines
+// complete.
+func (r *lineApplyReader) copyStep(p []byte, n int) (int, error) {
+	stop := int(^uint(0) >> 1) // no hunk left: copy to EOF
+	if r.hi < len(r.hunks) {
+		stop = r.hunks[r.hi].SrcPos
+	}
+	if r.hi < len(r.hunks) && r.pos >= stop && !r.mid {
+		r.state = larHunk
+		return n, nil
+	}
+	w, err := r.window()
+	if err == io.EOF {
+		return n, r.copyEOF()
+	}
+	if err != nil {
+		return n, err
+	}
+	if room := len(p) - n; len(w) > room {
+		w = w[:room]
+	}
+	emit := 0
+	for emit < len(w) && r.pos < stop {
+		idx := bytes.IndexByte(w[emit:], '\n')
+		if idx < 0 {
+			emit = len(w)
+			r.mid = true
+			break
+		}
+		emit += idx + 1
+		r.pos++
+		r.mid = false
+	}
+	copy(p[n:], w[:emit])
+	r.src.Discard(emit)
+	return n + emit, nil
+}
+
+// copyEOF resolves the copy state at source exhaustion: normalize the
+// trailing newline, or admit an insert-at-end hunk positioned just past the
+// final (possibly newline-less) line.
+func (r *lineApplyReader) copyEOF() error {
+	if r.hi >= len(r.hunks) {
+		if r.mid {
+			r.mid = false
+			r.pos++
+			r.state, r.tailNext = larTail, larDone
+		} else {
+			r.state = larDone
+		}
+		return nil
+	}
+	target := r.hunks[r.hi].SrcPos
+	if r.mid && target == r.pos+1 {
+		// The final source line lacked its newline; complete it before the
+		// hunk that starts right after it.
+		r.mid = false
+		r.pos++
+		r.state, r.tailNext = larTail, larHunk
+		return nil
+	}
+	if !r.mid && target == r.pos {
+		r.state = larHunk
+		return nil
+	}
+	return fmt.Errorf("delta: hunk %d at %d out of order", r.hi, target)
+}
+
+// startHunk validates the current hunk's position and arms the deletion
+// scan.
+func (r *lineApplyReader) startHunk() error {
+	h := &r.hunks[r.hi]
+	if h.SrcPos != r.pos {
+		return fmt.Errorf("delta: hunk %d at %d out of order", r.hi, h.SrcPos)
+	}
+	r.delLeft = h.NumDel()
+	r.delOff = 0
+	r.delMid = false
+	r.state = larDel
+	return nil
+}
+
+// delStep consumes one window of the current deleted source line, checking
+// it against the recorded content for two-way deltas. A final source line
+// without a trailing newline is completed by EOF.
+func (r *lineApplyReader) delStep() error {
+	h := &r.hunks[r.hi]
+	w, err := r.window()
+	if err == io.EOF {
+		if !r.delMid {
+			return fmt.Errorf("delta: hunk %d deletes past end of source", r.hi)
+		}
+		if r.twoWay && r.delOff != len(h.Del[h.NumDel()-r.delLeft]) {
+			return fmt.Errorf("delta: hunk %d context mismatch at line %d", r.hi, r.pos)
+		}
+		r.delMid = false
+		r.delLeft--
+		r.pos++
+		if r.delLeft > 0 {
+			return fmt.Errorf("delta: hunk %d deletes past end of source", r.hi)
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	seg := w
+	complete := false
+	if idx := bytes.IndexByte(w, '\n'); idx >= 0 {
+		seg = w[:idx]
+		complete = true
+	}
+	if r.twoWay {
+		want := h.Del[h.NumDel()-r.delLeft]
+		if r.delOff+len(seg) > len(want) || string(seg) != want[r.delOff:r.delOff+len(seg)] ||
+			(complete && r.delOff+len(seg) != len(want)) {
+			return fmt.Errorf("delta: hunk %d context mismatch at line %d", r.hi, r.pos)
+		}
+	}
+	r.delOff += len(seg)
+	if complete {
+		r.src.Discard(len(seg) + 1)
+		r.delMid = false
+		r.delOff = 0
+		r.delLeft--
+		r.pos++
+	} else {
+		r.src.Discard(len(w))
+		r.delMid = true
+	}
+	return nil
+}
+
+// insStep emits the current hunk's inserted lines (each with its newline)
+// into p, moving back to copy once the hunk is drained.
+func (r *lineApplyReader) insStep(p []byte, n int) int {
+	ins := r.hunks[r.hi].Ins
+	for n < len(p) {
+		if r.insIdx >= len(ins) {
+			r.hi++
+			r.state = larCopy
+			return n
+		}
+		line := ins[r.insIdx]
+		if r.insOff < len(line) {
+			c := copy(p[n:], line[r.insOff:])
+			n += c
+			r.insOff += c
+			continue
+		}
+		p[n] = '\n'
+		n++
+		r.insIdx++
+		r.insOff = 0
+	}
+	return n
+}
+
+// ApplyXORReader returns a reader applying an XOR delta to the source
+// streamed from src. The source length resolves which side of the delta it
+// is only once the stream ends, so the reader XORs through the shorter
+// prefix eagerly and settles the tail (emit the delta's remainder, or drain
+// and verify the longer source) at that point — O(1) extra memory.
+func ApplyXORReader(d []byte, src io.Reader) io.Reader {
+	la, n1 := binary.Uvarint(d)
+	if n1 <= 0 {
+		return errReader{fmt.Errorf("delta: corrupt XOR header")}
+	}
+	lb, n2 := binary.Uvarint(d[n1:])
+	if n2 <= 0 {
+		return errReader{fmt.Errorf("delta: corrupt XOR header")}
+	}
+	return &xorApplyReader{src: src, body: d[n1+n2:], la: la, lb: lb}
+}
+
+type xorApplyReader struct {
+	src    io.Reader
+	body   []byte
+	la, lb uint64
+
+	read     uint64 // source bytes consumed
+	emitted  uint64 // output bytes produced
+	outLen   uint64 // valid once outKnown
+	outKnown bool
+	srcEOF   bool
+	err      error
+}
+
+func (r *xorApplyReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	n, err := r.read0(p)
+	if err != nil && err != io.EOF {
+		r.err = err
+	}
+	return n, err
+}
+
+func (r *xorApplyReader) read0(p []byte) (int, error) {
+	lo := min(r.la, r.lb)
+	n := 0
+	for n < len(p) {
+		// Phase 1: XOR source bytes against the delta body through the
+		// shorter side's length.
+		if r.emitted < lo && !r.srcEOF {
+			if r.emitted >= uint64(len(r.body)) {
+				return n, fmt.Errorf("delta: XOR body too short: %d < %d", len(r.body), lo)
+			}
+			k := min(lo-r.emitted, uint64(len(r.body))-r.emitted, uint64(len(p)-n))
+			m, err := r.src.Read(p[n : n+int(k)])
+			for i := 0; i < m; i++ {
+				p[n+i] ^= r.body[r.emitted+uint64(i)]
+			}
+			n += m
+			r.emitted += uint64(m)
+			r.read += uint64(m)
+			if err == io.EOF {
+				r.srcEOF = true
+			} else if err != nil {
+				return n, err
+			}
+			continue
+		}
+		// Phase 2: settle the source's total length.
+		if !r.outKnown {
+			if err := r.resolveLen(); err != nil {
+				return n, err
+			}
+			continue
+		}
+		// Phase 3: the output is the longer side — its tail is the delta
+		// body verbatim (XOR against the zero-extended source).
+		if r.emitted < r.outLen {
+			if r.outLen > uint64(len(r.body)) {
+				return n, fmt.Errorf("delta: XOR body too short: %d < %d", len(r.body), r.outLen)
+			}
+			c := copy(p[n:], r.body[r.emitted:r.outLen])
+			n += c
+			r.emitted += uint64(c)
+			continue
+		}
+		if n > 0 {
+			return n, nil
+		}
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// resolveLen drains the source to its end and maps its total length onto
+// one delta side, fixing the output length as the other side.
+func (r *xorApplyReader) resolveLen() error {
+	var buf [512]byte
+	for !r.srcEOF {
+		m, err := r.src.Read(buf[:])
+		r.read += uint64(m)
+		if err == io.EOF {
+			r.srcEOF = true
+		} else if err != nil {
+			return err
+		} else if m == 0 && r.read > max(r.la, r.lb) {
+			break // defensive: never spin on a pathological reader
+		}
+		if r.read > max(r.la, r.lb) {
+			return fmt.Errorf("delta: XOR source length %d matches neither side (%d, %d)", r.read, r.la, r.lb)
+		}
+	}
+	if r.emitted < min(r.la, r.lb) && r.read != r.la && r.read != r.lb {
+		return fmt.Errorf("delta: XOR source length %d matches neither side (%d, %d)", r.read, r.la, r.lb)
+	}
+	switch r.read {
+	case r.la:
+		r.outLen = r.lb
+	case r.lb:
+		r.outLen = r.la
+	default:
+		return fmt.Errorf("delta: XOR source length %d matches neither side (%d, %d)", r.read, r.la, r.lb)
+	}
+	if r.emitted > r.outLen {
+		// Already emitted lo bytes, so outLen ≥ lo always holds; defensive.
+		return fmt.Errorf("delta: XOR source length %d matches neither side (%d, %d)", r.read, r.la, r.lb)
+	}
+	r.outKnown = true
+	return nil
+}
+
+// ApplyBinaryReader returns a reader reconstructing the target of a
+// BinaryDiff. COPY instructions address arbitrary source offsets, so the
+// source is buffered in full up front — but the *output* streams with O(1)
+// additional memory, emitted as zero-copy windows into the delta (INSERT)
+// and the source (COPY); composed above a streaming producer this still
+// halves the peak footprint versus ApplyBinary.
+func ApplyBinaryReader(d []byte, src io.Reader) io.Reader {
+	source, err := io.ReadAll(src)
+	if err != nil {
+		return errReader{err}
+	}
+	r := bytes.NewReader(d)
+	srcLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return errReader{fmt.Errorf("delta: binary header: %w", err)}
+	}
+	if srcLen != uint64(len(source)) {
+		return errReader{fmt.Errorf("delta: binary delta made for a %d-byte source, got %d", srcLen, len(source))}
+	}
+	tgtLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return errReader{fmt.Errorf("delta: binary header: %w", err)}
+	}
+	return &binApplyReader{d: d, r: r, source: source, tgtLen: tgtLen}
+}
+
+type binApplyReader struct {
+	d      []byte
+	r      *bytes.Reader // instruction cursor, positioned after the header
+	source []byte
+	tgtLen uint64
+
+	produced uint64 // bytes committed by decoded instructions
+	pending  []byte // current instruction's unemitted output window
+	err      error
+}
+
+func (b *binApplyReader) Read(p []byte) (int, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	n := 0
+	for n < len(p) {
+		if len(b.pending) > 0 {
+			c := copy(p[n:], b.pending)
+			n += c
+			b.pending = b.pending[c:]
+			continue
+		}
+		if b.r.Len() == 0 {
+			if b.produced != b.tgtLen {
+				b.err = fmt.Errorf("delta: binary apply produced %d bytes, header says %d", b.produced, b.tgtLen)
+			} else {
+				b.err = io.EOF
+			}
+			break
+		}
+		if err := b.nextInstruction(); err != nil {
+			b.err = err
+			break
+		}
+	}
+	if n > 0 {
+		return n, nil
+	}
+	return 0, b.err
+}
+
+// nextInstruction decodes one INSERT/COPY, pointing pending at its output
+// window with the same bounds checks as the buffered ApplyBinary.
+func (b *binApplyReader) nextInstruction() error {
+	op, err := b.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("delta: binary opcode: %w", err)
+	}
+	switch op {
+	case binOpInsert:
+		n, err := binary.ReadUvarint(b.r)
+		if err != nil {
+			return fmt.Errorf("delta: binary insert length: %w", err)
+		}
+		if uint64(b.r.Len()) < n {
+			return fmt.Errorf("delta: binary insert truncated")
+		}
+		start := len(b.d) - b.r.Len()
+		b.pending = b.d[start : start+int(n)]
+		if _, err := b.r.Seek(int64(n), io.SeekCurrent); err != nil {
+			return fmt.Errorf("delta: binary insert: %w", err)
+		}
+		b.produced += n
+	case binOpCopy:
+		off, err := binary.ReadUvarint(b.r)
+		if err != nil {
+			return fmt.Errorf("delta: binary copy offset: %w", err)
+		}
+		n, err := binary.ReadUvarint(b.r)
+		if err != nil {
+			return fmt.Errorf("delta: binary copy length: %w", err)
+		}
+		if off > uint64(len(b.source)) || n > uint64(len(b.source))-off {
+			return fmt.Errorf("delta: binary copy [%d,+%d) past source end %d", off, n, len(b.source))
+		}
+		b.pending = b.source[off : off+n]
+		b.produced += n
+	default:
+		return fmt.Errorf("delta: unknown binary opcode %d", op)
+	}
+	if b.produced > b.tgtLen {
+		return fmt.Errorf("delta: binary apply exceeded declared target length %d", b.tgtLen)
+	}
+	return nil
+}
+
+// DecompressReader returns a streaming reader inflating a Compress output.
+// The caller owns closing it.
+func DecompressReader(r io.Reader) io.ReadCloser {
+	return flate.NewReader(r)
+}

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"sort"
 	"sync"
@@ -61,6 +62,12 @@ type VersionInfo struct {
 	Branch  string    `json:"branch"`
 	Size    int64     `json:"size"`
 	Time    time.Time `json:"time"`
+	// Hash is the hex SHA-256 of the payload, recorded at commit time. It
+	// doubles as the strong ETag of GET /checkout/raw, so a conditional
+	// re-fetch can be answered 304 without touching a single blob. Empty on
+	// repositories written before hashes existed; VersionHash backfills
+	// lazily.
+	Hash string `json:"hash,omitempty"`
 }
 
 type meta struct {
@@ -84,6 +91,12 @@ type Repo struct {
 	// compatibility mode.
 	cacheSize  int
 	cacheBytes int64
+	// negTTL is the configured negative-result TTL for failed
+	// materializations, re-applied to every fresh layout after an Optimize
+	// swap. Zero means "layout default"; negTTLSet distinguishes an
+	// explicit disable (SetNegativeTTL ≤ 0) from "never configured".
+	negTTL    time.Duration
+	negTTLSet bool
 
 	// retiredBlobReads accumulates the backend blob reads of layouts
 	// retired by Optimize swaps, so BlobReads stays monotonic across
@@ -220,6 +233,19 @@ func (r *Repo) newCacheLocked() *store.VersionCache {
 		return store.NewVersionCacheBytes(r.cacheBytes)
 	}
 	return store.NewVersionCache(r.cacheSize)
+}
+
+// SetNegativeTTL configures how long the serving path remembers failed
+// materializations (store.Layout's negative-result cache): retries of a
+// failing version inside the TTL are answered from memory instead of
+// hammering a struggling backend. d ≤ 0 disables the memory; without an
+// explicit setting layouts use store.DefaultNegativeTTL. The setting
+// survives Optimize, which builds a fresh layout on every swap.
+func (r *Repo) SetNegativeTTL(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.negTTL, r.negTTLSet = d, true
+	r.layout.SetNegativeTTL(d)
 }
 
 // CacheStats returns cumulative checkout-cache hits and misses.
@@ -381,6 +407,7 @@ func (r *Repo) addVersion(branch string, payload []byte, message string, parents
 		Branch:  branch,
 		Size:    int64(len(payload)),
 		Time:    time.Now().UTC(),
+		Hash:    string(store.HashBytes(payload)),
 	})
 	r.meta.Branches[branch] = id
 	// Incremental physical placement: delta against first parent when
@@ -456,6 +483,68 @@ func (r *Repo) checkoutLocked(v int) ([]byte, error) {
 		r.stats.Record(v)
 	}
 	return payload, err
+}
+
+// CheckoutStream reconstructs version v's payload as a stream, returning
+// the reader, the payload size in bytes, and the construction error. The
+// repository read lock is held only while the reader stack is constructed
+// (chain metadata plus the chain's delta blobs — small reads); it is
+// released before the caller consumes the body, so a slow client draining
+// a large payload never blocks writers. The stack stays valid across a
+// concurrent Optimize swap: its layout view is capacity-capped and its
+// blobs content-addressed, so the retired layout's chain remains readable
+// until the stream is closed. Callers must Close the stream.
+func (r *Repo) CheckoutStream(v int) (io.ReadCloser, int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if v < 0 || v >= len(r.meta.Versions) {
+		return nil, 0, fmt.Errorf("repo: version %d out of range [0,%d): %w", v, len(r.meta.Versions), ErrUnknownVersion)
+	}
+	rc, size, err := r.layout.CheckoutStream(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	if size < 0 {
+		// Cold streams discover their length only at EOF; the commit
+		// record already knows it.
+		size = r.meta.Versions[v].Size
+	}
+	r.stats.Record(v)
+	return rc, size, nil
+}
+
+// VersionHash returns the hex SHA-256 of version v's payload — the strong
+// ETag served by GET /checkout/raw. Commits record it up front; versions
+// from repositories that predate hashes get theirs computed on first
+// request and persisted best-effort, so subsequent conditional requests
+// are answered from metadata alone.
+func (r *Repo) VersionHash(v int) (string, error) {
+	r.mu.RLock()
+	if v < 0 || v >= len(r.meta.Versions) {
+		n := len(r.meta.Versions)
+		r.mu.RUnlock()
+		return "", fmt.Errorf("repo: version %d out of range [0,%d): %w", v, n, ErrUnknownVersion)
+	}
+	if h := r.meta.Versions[v].Hash; h != "" {
+		r.mu.RUnlock()
+		return h, nil
+	}
+	payload, err := r.layout.Checkout(v)
+	r.mu.RUnlock()
+	if err != nil {
+		return "", err
+	}
+	h := string(store.HashBytes(payload))
+	// Backfill under the write lock, re-checking: a concurrent backfill of
+	// the same version computed the identical hash, so last-write-wins is
+	// safe; persistence is best-effort (the hash is always recomputable).
+	r.mu.Lock()
+	if v < len(r.meta.Versions) && r.meta.Versions[v].Hash == "" {
+		r.meta.Versions[v].Hash = h
+		_ = r.save()
+	}
+	r.mu.Unlock()
+	return h, nil
 }
 
 // Stats summarizes the repository's physical state.
@@ -856,6 +945,9 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 			len(r.meta.Versions)-n, ErrOptimizeConflict)
 	}
 	newLayout.SetCache(r.newCacheLocked())
+	if r.negTTLSet {
+		newLayout.SetNegativeTTL(r.negTTL)
+	}
 	oldLayout := r.layout
 	r.layout = newLayout
 	if err := r.save(); err != nil {

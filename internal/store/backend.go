@@ -1,5 +1,7 @@
 package store
 
+import "io"
+
 // Backend is a content-addressed blob store: the physical substrate every
 // storage layout is built on. Implementations must be safe for concurrent
 // use by multiple goroutines — the serving path issues parallel reads
@@ -33,10 +35,23 @@ type MetaStore interface {
 	GetMeta(name string) ([]byte, error)
 }
 
+// BlobStreamer is an optional Backend extension: an incremental read of a
+// single blob. The streaming checkout path prefers it for chain-base
+// payloads, so a large materialized version never sits in memory whole just
+// to seed a reader stack; backends without it fall back to Get. As with
+// Get, implementations must verify the content address — incrementally is
+// fine, as long as a corrupt blob surfaces as a Read error no later than
+// EOF.
+type BlobStreamer interface {
+	GetStream(id ID) (io.ReadCloser, error)
+}
+
 // Compile-time conformance of both shipped backends.
 var (
-	_ Backend   = (*ObjectStore)(nil)
-	_ MetaStore = (*ObjectStore)(nil)
-	_ Backend   = (*MemStore)(nil)
-	_ MetaStore = (*MemStore)(nil)
+	_ Backend      = (*ObjectStore)(nil)
+	_ MetaStore    = (*ObjectStore)(nil)
+	_ BlobStreamer = (*ObjectStore)(nil)
+	_ Backend      = (*MemStore)(nil)
+	_ MetaStore    = (*MemStore)(nil)
+	_ BlobStreamer = (*MemStore)(nil)
 )

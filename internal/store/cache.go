@@ -181,6 +181,21 @@ func (c *VersionCache) removeLocked(el *list.Element) {
 	c.bytes -= int64(len(it.payload))
 }
 
+// admissionLimit is the largest payload Put could ever admit: the byte
+// budget in byte-budget mode, unlimited (-1) in version-count mode, zero
+// for a nil (disabled) cache. The streaming cache tee uses it to stop
+// buffering a payload that could never be admitted anyway. budgetBytes is
+// immutable after construction, so no lock is needed.
+func (c *VersionCache) admissionLimit() int64 {
+	if c == nil {
+		return 0
+	}
+	if c.budgetBytes > 0 {
+		return c.budgetBytes
+	}
+	return -1
+}
+
 // getQuiet behaves like Get — returning and promoting v's payload — but
 // records no hit/miss: for re-probes of a version whose lookup was
 // already counted on the checkout fast path.

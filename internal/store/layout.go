@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"versiondb/internal/delta"
 	"versiondb/internal/graph"
@@ -42,6 +43,14 @@ type Layout struct {
 	flightMu sync.Mutex
 	flight   map[int]*flightCall
 
+	// neg remembers failed materializations for a short TTL so a retry
+	// storm against a struggling backend is answered from memory. negTTL
+	// holds the configured TTL in nanoseconds: 0 means DefaultNegativeTTL,
+	// < 0 means disabled. Lock order: flightMu before negMu.
+	negMu  sync.Mutex
+	neg    map[int]negEntry
+	negTTL atomic.Int64
+
 	// memo caches the per-version cold-cost DP (CheckoutWork/ChainLength).
 	// Entries are append-only and immutable, so a memo covering a prefix
 	// of Entries stays valid forever; a length mismatch means "extend".
@@ -56,6 +65,80 @@ type flightCall struct {
 	done    chan struct{}
 	payload []byte
 	err     error
+}
+
+// negEntry is one remembered materialization failure.
+type negEntry struct {
+	err   error
+	until time.Time
+}
+
+// DefaultNegativeTTL is how long a failed materialization is remembered
+// when no explicit TTL was configured: long enough to absorb a retry storm,
+// short enough that a healed backend is retried promptly.
+const DefaultNegativeTTL = time.Second
+
+// SetNegativeTTL configures how long failed materializations are remembered
+// (the negative-result cache on the singleflight map). d ≤ 0 disables the
+// memory entirely; the zero-value layout uses DefaultNegativeTTL.
+func (l *Layout) SetNegativeTTL(d time.Duration) {
+	if d <= 0 {
+		l.negTTL.Store(-1)
+		return
+	}
+	l.negTTL.Store(int64(d))
+}
+
+// negativeTTL resolves the configured failure-memory TTL; 0 means disabled.
+func (l *Layout) negativeTTL() time.Duration {
+	switch d := l.negTTL.Load(); {
+	case d > 0:
+		return time.Duration(d)
+	case d < 0:
+		return 0
+	default:
+		return DefaultNegativeTTL
+	}
+}
+
+// negFailure returns the remembered error for v when a materialization
+// failed within the TTL window; expired entries are dropped on probe.
+func (l *Layout) negFailure(v int) error {
+	if l.negativeTTL() == 0 {
+		return nil
+	}
+	l.negMu.Lock()
+	defer l.negMu.Unlock()
+	e, ok := l.neg[v]
+	if !ok {
+		return nil
+	}
+	if time.Now().After(e.until) {
+		delete(l.neg, v)
+		return nil
+	}
+	return e.err
+}
+
+// noteFailure remembers a materialization failure for the configured TTL.
+func (l *Layout) noteFailure(v int, err error) {
+	ttl := l.negativeTTL()
+	if ttl == 0 {
+		return
+	}
+	l.negMu.Lock()
+	if l.neg == nil {
+		l.neg = map[int]negEntry{}
+	}
+	l.neg[v] = negEntry{err: err, until: time.Now().Add(ttl)}
+	l.negMu.Unlock()
+}
+
+// clearFailure forgets a remembered failure after a success.
+func (l *Layout) clearFailure(v int) {
+	l.negMu.Lock()
+	delete(l.neg, v)
+	l.negMu.Unlock()
 }
 
 // BuildLayout writes every version into the backend per the tree: children
@@ -151,6 +234,14 @@ func (l *Layout) checkoutCold(v int) ([]byte, error) {
 		<-fl.done
 		return fl.payload, fl.err
 	}
+	// Failure memory: a materialization of v that failed within the TTL is
+	// answered from memory instead of sending a retry storm at a backend
+	// that is already struggling. Checked under flightMu so a remembered
+	// failure never races a flight being created for the same version.
+	if err := l.negFailure(v); err != nil {
+		l.flightMu.Unlock()
+		return nil, err
+	}
 	fl := &flightCall{done: make(chan struct{})}
 	if l.flight == nil {
 		l.flight = map[int]*flightCall{}
@@ -168,6 +259,11 @@ func (l *Layout) checkoutCold(v int) ([]byte, error) {
 		close(fl.done)
 	}()
 	fl.payload, fl.err = l.materialize(v)
+	if fl.err != nil {
+		l.noteFailure(v, fl.err)
+	} else {
+		l.clearFailure(v)
+	}
 	return fl.payload, fl.err
 }
 

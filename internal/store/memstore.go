@@ -1,7 +1,9 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"io/fs"
 	"sort"
 	"sync"
@@ -44,6 +46,23 @@ func (s *MemStore) Get(id ID) ([]byte, error) {
 		return nil, fmt.Errorf("store: get %s: %w", shortID(id), fs.ErrNotExist)
 	}
 	return append([]byte(nil), data...), nil
+}
+
+// GetStream returns a zero-copy reader over the stored blob. The backing
+// slice is immutable once stored (content-addressed, never mutated in
+// place), so sharing it with a reader is safe and costs nothing — the
+// property the streaming checkout benchmark leans on.
+func (s *MemStore) GetStream(id ID) (io.ReadCloser, error) {
+	if len(id) != 64 {
+		return nil, fmt.Errorf("store: malformed id %q", id)
+	}
+	s.mu.RLock()
+	data, ok := s.blobs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: get %s: %w", shortID(id), fs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
 }
 
 // Has reports whether the blob exists.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"versiondb/internal/repo"
 )
@@ -13,6 +14,10 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+	// raw caches validated /checkout/raw payloads by version, keyed for
+	// If-None-Match revalidation (see CheckoutRaw).
+	rawMu sync.Mutex
+	raw   map[int]rawEntry
 }
 
 // NewClient returns a client for the server at base (e.g.

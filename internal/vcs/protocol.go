@@ -2,7 +2,11 @@
 // paper's client-server prototype ("users interact with the version
 // management system in a client-server model over HTTP"). The server owns
 // the repository; the client offers commit/checkout/branch/merge/log/
-// optimize calls. Payloads travel base64-encoded inside JSON bodies.
+// optimize calls. Payloads travel base64-encoded inside JSON bodies, with
+// one exception: GET /checkout/raw streams the payload as the raw response
+// body (strong ETag, If-None-Match → 304, optional gzip), so large
+// checkouts cost neither a base64 blow-up nor a whole-payload buffer on
+// either end.
 package vcs
 
 import (

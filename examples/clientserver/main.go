@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,7 +36,7 @@ func main() {
 	}
 	srv := &http.Server{Handler: vcs.NewServer(r).Handler()}
 	go func() {
-		if err := srv.Serve(ln); err != http.ErrServerClosed {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			log.Print(err)
 		}
 	}()

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// A wantNote is one "// want `re`" expectation attached to a source line.
+type wantNote struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// TestAnalyzer runs one analyzer over the named packages of the test
+// module rooted at moduleDir (a testdata directory with its own go.mod),
+// in the style of x/tools' analysistest: expectations are written as
+//
+//	code // want "regexp"
+//	code // want `regexp` "second regexp"
+//
+// comments; every expectation must be matched by a diagnostic on the
+// same file and line, and every diagnostic must match an expectation.
+func TestAnalyzer(t *testing.T, moduleDir string, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	m, err := LoadModule(moduleDir)
+	if err != nil {
+		t.Fatalf("load test module: %v", err)
+	}
+	var pkgs []*Package
+	for _, path := range pkgPaths {
+		if !strings.HasPrefix(path, m.Path) {
+			path = m.Path + "/" + path
+		}
+		p, err := m.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	diags, err := Run(m, pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, m, pkgs)
+	for _, d := range diags {
+		pos := m.Fset.Position(d.Pos)
+		if !claimWant(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func claimWant(wants []*wantNote, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every "// want" expectation from the packages'
+// comments.
+func collectWants(t *testing.T, m *Module, pkgs []*Package) []*wantNote {
+	t.Helper()
+	var wants []*wantNote
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					notes, err := parseWants(text)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", filepath.Base(pos.Filename), pos.Line, err)
+					}
+					for _, re := range notes {
+						wants = append(wants, &wantNote{
+							file: pos.Filename,
+							line: pos.Line,
+							re:   re,
+							raw:  re.String(),
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWants splits the payload of a want comment into one or more
+// quoted (or backquoted) regular expressions.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want payload %q: %w", s, err)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want payload %q: %w", s, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %w", lit, err)
+		}
+		res = append(res, re)
+		s = s[len(q):]
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("empty want payload")
+	}
+	return res, nil
+}

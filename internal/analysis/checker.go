@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the multichecker entry point used by cmd/vmslint. It loads the
+// enclosing module (walking up from the working directory to go.mod),
+// applies every analyzer to the packages matched by the command-line
+// patterns (default "./..."), prints diagnostics as
+// "file:line:col: message (analyzer)", and exits 0 when clean, 1 when
+// diagnostics were reported, 2 on load or analyzer failure.
+func Main(analyzers ...*Analyzer) {
+	code, err := run(os.Args[1:], os.Stdout, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmslint:", err)
+	}
+	os.Exit(code)
+}
+
+func run(patterns []string, out io.Writer, analyzers []*Analyzer) (int, error) {
+	root, err := findModuleRoot()
+	if err != nil {
+		return 2, err
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		return 2, err
+	}
+	pkgs, err := selectPackages(m, patterns)
+	if err != nil {
+		return 2, err
+	}
+	diags, err := Run(m, pkgs, analyzers)
+	if err != nil {
+		return 2, err
+	}
+	for _, d := range diags {
+		pos := m.Fset.Position(d.Pos)
+		file := pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, d.Analyzer.Name)
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// selectPackages resolves go-style patterns against the module. "./..."
+// (and the empty pattern list) means every package; "./x/..." a subtree;
+// "./x" a single package.
+func selectPackages(m *Module, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := m.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var sel []*Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		for _, p := range all {
+			rel := strings.TrimPrefix(strings.TrimPrefix(p.Path, m.Path), "/")
+			if rel == "" {
+				rel = "."
+			}
+			if matchPattern(pat, rel) && !seen[p.Path] {
+				seen[p.Path] = true
+				sel = append(sel, p)
+			}
+		}
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return sel, nil
+}
+
+func matchPattern(pat, rel string) bool {
+	switch {
+	case pat == "..." || pat == "." || pat == "":
+		return true
+	case strings.HasSuffix(pat, "/..."):
+		prefix := strings.TrimSuffix(pat, "/...")
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	default:
+		return rel == pat
+	}
+}

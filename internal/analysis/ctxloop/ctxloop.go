@@ -1,0 +1,153 @@
+// Package ctxloop enforces the PR 2 cancellation contract in the
+// serving-path packages: inside a function that takes a
+// context.Context, any for loop that is unbounded (no condition, or
+// ranging over a channel) or that performs I/O in its body must
+// reference the context somewhere in that body — ctx.Err(), ctx.Done(),
+// a checkCtx(ctx) helper, or passing ctx onward all count.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"versiondb/internal/analysis"
+	"versiondb/internal/analysis/lockscan"
+)
+
+// Packages limits the analyzer to the packages whose loops carry the
+// contract.
+var Packages = map[string]bool{
+	"versiondb/internal/solve": true,
+	"versiondb/internal/delta": true,
+	"versiondb/internal/store": true,
+}
+
+// IOPackages are the stdlib packages whose calls count as I/O.
+var IOPackages = map[string]bool{
+	"io": true,
+	"os": true,
+}
+
+// IOTypes are qualified type names whose method calls count as I/O
+// (mirrors the lockorder blob-I/O set).
+var IOTypes = map[string]bool{
+	"versiondb/internal/store.Backend":      true,
+	"versiondb/internal/store.MetaStore":    true,
+	"versiondb/internal/store.BlobStreamer": true,
+	"versiondb/internal/store.MemStore":     true,
+	"versiondb/internal/store.ObjectStore":  true,
+	"versiondb/internal/store.Pack":         true,
+}
+
+// IOFuncPrefixes maps package paths to function-name prefixes counted
+// as I/O-equivalent work (delta application).
+var IOFuncPrefixes = map[string]string{
+	"versiondb/internal/delta": "Apply",
+}
+
+// Analyzer is the ctxloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "check that I/O-performing or unbounded loops in ctx-taking functions " +
+		"of the serving-path packages check their context",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !Packages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !takesContext(pass.TypesInfo, fd) {
+				continue
+			}
+			// Nested function literals capture ctx, so loops inside them
+			// carry the same contract; walk the whole body.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					checkLoop(pass, loop.Body, loop.Cond == nil)
+				case *ast.RangeStmt:
+					overChan := false
+					if tv, ok := pass.TypesInfo.Types[loop.X]; ok {
+						_, overChan = tv.Type.Underlying().(*types.Chan)
+					}
+					checkLoop(pass, loop.Body, overChan)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkLoop(pass *analysis.Pass, body *ast.BlockStmt, unbounded bool) {
+	doesIO := false
+	seesCtx := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // goroutine/closure bodies don't bound this loop
+		case *ast.CallExpr:
+			if isIOCall(pass.TypesInfo, n) {
+				doesIO = true
+			}
+		case *ast.Ident:
+			if isContext(pass.TypesInfo.Uses[n]) {
+				seesCtx = true
+			}
+		}
+		return true
+	})
+	if seesCtx || (!unbounded && !doesIO) {
+		return
+	}
+	what := "performs I/O"
+	if unbounded {
+		what = "is unbounded"
+	}
+	pass.Reportf(body.Pos(),
+		"loop %s inside a ctx-taking function but never checks the context", what)
+}
+
+func takesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(obj types.Object) bool {
+	return obj != nil && isContextType(obj.Type())
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func isIOCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lockscan.CalleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if owner := lockscan.OwnerName(fn); owner != "" {
+		if IOTypes[owner] {
+			return true
+		}
+		return IOPackages[fn.Pkg().Path()]
+	}
+	if IOPackages[fn.Pkg().Path()] {
+		return true
+	}
+	prefix, ok := IOFuncPrefixes[fn.Pkg().Path()]
+	return ok && strings.HasPrefix(fn.Name(), prefix)
+}

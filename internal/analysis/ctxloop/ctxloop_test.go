@@ -1,0 +1,16 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"versiondb/internal/analysis"
+	"versiondb/internal/analysis/ctxloop"
+)
+
+func TestCtxLoop(t *testing.T) {
+	oldPkgs, oldTypes := ctxloop.Packages, ctxloop.IOTypes
+	ctxloop.Packages = map[string]bool{"ctxlooptest/a": true}
+	ctxloop.IOTypes = map[string]bool{"ctxlooptest/a.Store": true}
+	defer func() { ctxloop.Packages, ctxloop.IOTypes = oldPkgs, oldTypes }()
+	analysis.TestAnalyzer(t, "testdata", ctxloop.Analyzer, "a")
+}

@@ -1,0 +1,92 @@
+// Package a is the ctxloop analysistest fixture; the test configures
+// Store methods as I/O and scopes the analyzer to this package.
+package a
+
+import "context"
+
+type Store struct{}
+
+func (s *Store) Get(k string) []byte { return nil }
+
+func GoodIO(ctx context.Context, s *Store, keys []string) {
+	for _, k := range keys {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = s.Get(k)
+	}
+}
+
+func BadIO(ctx context.Context, s *Store, keys []string) {
+	for _, k := range keys { // want `loop performs I/O inside a ctx-taking function but never checks the context`
+		_ = s.Get(k)
+	}
+}
+
+func BadUnbounded(ctx context.Context) {
+	n := 0
+	for { // want `loop is unbounded inside a ctx-taking function but never checks the context`
+		n++
+		if n > 10 {
+			break
+		}
+	}
+}
+
+func GoodUnbounded(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+func BadChanRange(ctx context.Context, ch chan int) {
+	for range ch { // want `loop is unbounded inside a ctx-taking function but never checks the context`
+	}
+}
+
+func GoodChanRange(ctx context.Context, ch chan int) {
+	for range ch {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// Passing ctx onward counts as a context check.
+func GoodForward(ctx context.Context, s *Store, keys []string) {
+	for _, k := range keys {
+		helper(ctx, s, k)
+	}
+}
+
+func helper(ctx context.Context, s *Store, k string) { _ = s.Get(k) }
+
+// Closures capture ctx and carry the same contract.
+func BadClosure(ctx context.Context, s *Store, keys []string) {
+	f := func() {
+		for _, k := range keys { // want `loop performs I/O inside a ctx-taking function but never checks the context`
+			_ = s.Get(k)
+		}
+	}
+	f()
+}
+
+// Functions without a ctx parameter are out of scope.
+func NoCtx(s *Store, keys []string) {
+	for _, k := range keys {
+		_ = s.Get(k)
+	}
+}
+
+// Bounded loops without I/O need no check.
+func BoundedPure(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module ctxlooptest
+
+go 1.24

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked module-local package: source ASTs plus
+// full type information.
+type Package struct {
+	// Path is the import path ("versiondb/internal/store").
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checker's package object.
+	Types *types.Package
+	// Info carries the full type-checking results for Files.
+	Info *types.Info
+}
+
+// A Module loads and caches the packages of one Go module from source.
+// Standard-library imports are resolved through the compiler's source
+// importer; module-local imports recurse through the loader itself, so
+// every module package ever touched — directly analyzed or imported —
+// retains its ASTs and type info for whole-module analyses.
+type Module struct {
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file loaded through this module.
+	Fset *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	order   []string
+	loading map[string]bool
+}
+
+// LoadModule opens the module rooted at dir (which must contain go.mod).
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: load module: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Module{
+		Dir:     abs,
+		Path:    modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Import implements types.Importer: module-local paths load (and cache)
+// through the module, everything else falls through to the source
+// importer over GOROOT.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		p, err := m.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// Load type-checks (or returns the cached) package at importPath, which
+// must live inside the module.
+func (m *Module) Load(importPath string) (*Package, error) {
+	if p, ok := m.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if m.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	m.loading[importPath] = true
+	defer delete(m.loading, importPath)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, m.Path), "/")
+	dir := filepath.Join(m.Dir, filepath.FromSlash(rel))
+	files, err := m.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(importPath, m.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", importPath, err)
+	}
+	p := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	m.pkgs[importPath] = p
+	m.order = append(m.order, importPath)
+	return p, nil
+}
+
+// parseDir parses every non-test .go file in dir, name-sorted.
+func (m *Module) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadAll loads every package under the module in lexical directory
+// order, skipping testdata, vendor, hidden and underscore-prefixed
+// directories — the same set `go build ./...` would visit.
+func (m *Module) LoadAll() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(m.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !m.hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(m.Dir, path)
+		if err != nil {
+			return err
+		}
+		importPath := m.Path
+		if rel != "." {
+			importPath = m.Path + "/" + filepath.ToSlash(rel)
+		}
+		p, err := m.Load(importPath)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+func (m *Module) hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Packages returns every package loaded so far, in load order. Analyzers
+// use it for whole-module views (e.g. cross-package call summaries).
+func (m *Module) Packages() []*Package {
+	out := make([]*Package, 0, len(m.order))
+	for _, p := range m.order {
+		out = append(out, m.pkgs[p])
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+// Package lockedcall enforces the "*Locked" naming convention: a method
+// named fooLocked asserts "my receiver's mu is held by the caller". The
+// analyzer checks both directions — a call to x.fooLocked() must come
+// from a function that has acquired x's receiver-type mu (or is itself
+// a *Locked method on the same type), and a *Locked method must not
+// acquire its own receiver's mu.
+package lockedcall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"versiondb/internal/analysis"
+	"versiondb/internal/analysis/lockscan"
+)
+
+// MutexField is the struct-field name the convention refers to.
+var MutexField = "mu"
+
+// Analyzer is the lockedcall pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedcall",
+	Doc: "check that *Locked methods are called only with the receiver's mutex held " +
+		"and never lock it themselves",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, root := range lockscan.Roots(f) {
+			checkRoot(pass, root)
+		}
+	}
+	return nil, nil
+}
+
+func checkRoot(pass *analysis.Pass, root lockscan.Root) {
+	// callerExempt: the enclosing function is itself *Locked, so it may
+	// forward to other *Locked methods without re-acquiring.
+	callerExempt := false
+	// ownMu is the lock a *Locked method must NOT acquire itself.
+	ownMu := ""
+	if root.Decl != nil {
+		if lockscan.HasLockedSuffix(root.Decl.Name.Name) {
+			callerExempt = true
+			if fn, ok := pass.TypesInfo.Defs[root.Decl.Name].(*types.Func); ok {
+				ownMu = receiverMuID(fn)
+			}
+		}
+	}
+	lockscan.ScanFunc(pass.TypesInfo, root.Body, lockscan.Events{
+		Acquire: func(op lockscan.LockOp, _ []lockscan.Held) {
+			if ownMu != "" && op.ID == ownMu {
+				pass.Reportf(op.Pos,
+					"%s is a *Locked method but acquires its own mutex %s",
+					root.Decl.Name.Name, MutexField)
+			}
+		},
+		Call: func(call *ast.CallExpr, held []lockscan.Held, _ bool) {
+			callee := lockscan.CalleeOf(pass.TypesInfo, call)
+			if callee == nil || !lockscan.HasLockedSuffix(callee.Name()) {
+				return
+			}
+			required := receiverMuID(callee)
+			if required == "" {
+				return // receiver type has no mu field; nothing to check
+			}
+			if callerExempt {
+				return
+			}
+			for _, h := range held {
+				if h.ID == required {
+					return
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s without holding %s", callee.Name(), shortID(required))
+		},
+	})
+}
+
+// receiverMuID returns the lock ID "pkgpath.Type.mu" for fn's receiver
+// type, or "" when fn is not a method or the type has no MutexField.
+func receiverMuID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == MutexField {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + MutexField
+		}
+	}
+	return ""
+}
+
+func shortID(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '/' {
+			return id[i+1:]
+		}
+	}
+	return id
+}

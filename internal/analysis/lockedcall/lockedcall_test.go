@@ -1,0 +1,12 @@
+package lockedcall_test
+
+import (
+	"testing"
+
+	"versiondb/internal/analysis"
+	"versiondb/internal/analysis/lockedcall"
+)
+
+func TestLockedCall(t *testing.T) {
+	analysis.TestAnalyzer(t, "testdata", lockedcall.Analyzer, "a")
+}

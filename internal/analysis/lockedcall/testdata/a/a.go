@@ -1,0 +1,52 @@
+// Package a is the lockedcall analysistest fixture.
+package a
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *T) bumpLocked() { t.n++ }
+
+func (t *T) Good() {
+	t.mu.Lock()
+	t.bumpLocked()
+	t.mu.Unlock()
+}
+
+func (t *T) GoodDeferred() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked()
+}
+
+func (t *T) Bad() {
+	t.bumpLocked() // want `call to bumpLocked without holding a\.T\.mu`
+}
+
+func (t *T) BadAfterUnlock() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.bumpLocked() // want `call to bumpLocked without holding a\.T\.mu`
+}
+
+// A *Locked method may forward to other *Locked methods.
+func (t *T) doubleLocked() {
+	t.bumpLocked()
+}
+
+// A *Locked method must not take its own mutex.
+func (t *T) selfLockLocked() {
+	t.mu.Lock() // want `selfLockLocked is a \*Locked method but acquires its own mutex mu`
+	t.n++
+	t.mu.Unlock()
+}
+
+// Methods on types without a mu field carry no checkable contract.
+type U struct{ n int }
+
+func (u *U) incLocked() { u.n++ }
+
+func Use(u *U) { u.incLocked() }

@@ -1,0 +1,3 @@
+module lockedcalltest
+
+go 1.24

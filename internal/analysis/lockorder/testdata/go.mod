@@ -1,0 +1,3 @@
+module lockordertest
+
+go 1.24

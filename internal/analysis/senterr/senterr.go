@@ -1,0 +1,220 @@
+// Package senterr enforces the repository's sentinel-error discipline:
+// package-level Err* variables are compared with errors.Is (never ==),
+// wrapped with %w (never %v or %s), and every exported repo/jobs
+// sentinel has a status mapping in the HTTP layer's statusFor.
+package senterr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"versiondb/internal/analysis"
+)
+
+// StatusFunc is the name of the sentinel→HTTP-status mapping function;
+// the completeness check runs in whichever package declares it.
+var StatusFunc = "statusFor"
+
+// SentinelSources are the packages whose exported Err* sentinels
+// StatusFunc must cover.
+var SentinelSources = []string{
+	"versiondb/internal/repo",
+	"versiondb/internal/jobs",
+}
+
+// Analyzer is the senterr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc: "check that sentinel errors are compared with errors.Is, wrapped with %w, " +
+		"and all mapped by the HTTP status function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	checkStatusFunc(pass)
+	return nil, nil
+}
+
+// checkComparison flags ==/!= where either operand is a sentinel var.
+func checkComparison(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	for _, operand := range []ast.Expr{e.X, e.Y} {
+		if v := sentinelVar(pass.TypesInfo, operand); v != nil {
+			pass.Reportf(e.OpPos,
+				"sentinel error %s compared with %s; use errors.Is", v.Name(), e.Op)
+			return
+		}
+	}
+}
+
+// sentinelVar resolves expr to a package-level error variable named
+// Err*/err*, or nil.
+func sentinelVar(info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isSentinelName(v.Name()) || !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isSentinelName matches the Err*/err* naming convention ("ErrNotFound",
+// "errClosed") without sweeping in unrelated names like io.EOF.
+func isSentinelName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok {
+		rest, ok = strings.CutPrefix(name, "err")
+	}
+	return ok && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z'
+}
+
+func isErrorType(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// checkErrorf flags fmt.Errorf calls where an error-typed argument is
+// formatted with %v or %s instead of %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // indexed or otherwise exotic format; don't guess
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[argIdx]]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		pass.Reportf(call.Args[argIdx].Pos(),
+			"error wrapped with %%%c; use %%w so errors.Is sees through it", verb)
+	}
+}
+
+// formatVerbs returns the verb letter for each argument-consuming verb
+// in format, in argument order. ok=false for [n]-indexed formats.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision
+		for i < len(format) && strings.ContainsRune("+-# 0.123456789", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '[':
+			return nil, false
+		case '*':
+			verbs = append(verbs, '*') // width arg
+			i++
+			if i < len(format) {
+				verbs = append(verbs, format[i])
+			}
+		default:
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// checkStatusFunc verifies that the package's StatusFunc (if declared)
+// references every exported sentinel of the SentinelSources packages.
+func checkStatusFunc(pass *analysis.Pass) {
+	var fd *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if d, ok := decl.(*ast.FuncDecl); ok && d.Name.Name == StatusFunc && d.Body != nil {
+				fd = d
+			}
+		}
+	}
+	if fd == nil {
+		return
+	}
+	used := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	for _, src := range SentinelSources {
+		pkg, err := pass.Module.Load(src)
+		if err != nil {
+			continue // source package not in this module (e.g. under test)
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !v.Exported() || !strings.HasPrefix(name, "Err") || !isErrorType(v.Type()) {
+				continue
+			}
+			if !used[v] {
+				pass.Reportf(fd.Name.Pos(),
+					"%s has no mapping for sentinel %s.%s", StatusFunc, pkg.Types.Name(), name)
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package senterr_test
+
+import (
+	"testing"
+
+	"versiondb/internal/analysis"
+	"versiondb/internal/analysis/senterr"
+)
+
+func TestSentErr(t *testing.T) {
+	old := senterr.SentinelSources
+	senterr.SentinelSources = []string{"senterrtest/sents"}
+	defer func() { senterr.SentinelSources = old }()
+	analysis.TestAnalyzer(t, "testdata", senterr.Analyzer, "sents", "api")
+}

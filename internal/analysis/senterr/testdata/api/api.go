@@ -1,0 +1,49 @@
+// Package api is the senterr analysistest fixture: sentinel
+// comparisons, wrapping, and the statusFor completeness check.
+package api
+
+import (
+	"errors"
+	"fmt"
+
+	"senterrtest/sents"
+)
+
+func Compare(err error) bool {
+	if err == sents.ErrNotFound { // want `sentinel error ErrNotFound compared with ==; use errors\.Is`
+		return true
+	}
+	if errors.Is(err, sents.ErrNotFound) {
+		return true
+	}
+	if err != sents.ErrGone { // want `sentinel error ErrGone compared with !=; use errors\.Is`
+		return false
+	}
+	return err == sents.EOF
+}
+
+func Wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("api: %v", err) // want `error wrapped with %v; use %w so errors\.Is sees through it`
+}
+
+func WrapString(err error) error {
+	return fmt.Errorf("api: %s", err) // want `error wrapped with %s; use %w so errors\.Is sees through it`
+}
+
+func WrapOK(err error) error {
+	return fmt.Errorf("api: %w", err)
+}
+
+func FormatNonError(msg string, n int) error {
+	return fmt.Errorf("api: %s failed %d times", msg, n)
+}
+
+func statusFor(err error) int { // want `statusFor has no mapping for sentinel sents\.ErrGone`
+	if errors.Is(err, sents.ErrNotFound) {
+		return 404
+	}
+	return 500
+}

@@ -1,0 +1,3 @@
+module senterrtest
+
+go 1.24

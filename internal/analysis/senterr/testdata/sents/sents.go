@@ -1,0 +1,11 @@
+// Package sents declares the sentinel errors for the senterr fixture.
+package sents
+
+import "errors"
+
+var (
+	ErrNotFound = errors.New("not found")
+	ErrGone     = errors.New("gone")
+	// EOF is deliberately not Err*-named: exempt from the sentinel rules.
+	EOF = errors.New("eof")
+)

@@ -1,0 +1,41 @@
+// Package cl is the copylocks analysistest fixture.
+package cl
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValue(g Guarded) int { // want `parameter passes lock by value: vetlitetest/cl\.Guarded`
+	return g.n
+}
+
+func ByPointer(g *Guarded) int { return g.n }
+
+func Assign(g *Guarded) {
+	cp := *g // want `assignment copies lock value: vetlitetest/cl\.Guarded`
+	_ = cp
+}
+
+func AssignPointer(g *Guarded) {
+	p := g
+	_ = p
+}
+
+func Init() Guarded { // want `result passes lock by value: vetlitetest/cl\.Guarded`
+	g := Guarded{n: 1} // composite-literal initialization is not a copy
+	return g
+}
+
+func Ranges(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies lock value: vetlitetest/cl\.Guarded`
+		total += g.n
+	}
+	for i := range gs { // index-only iteration is fine
+		total += gs[i].n
+	}
+	return total
+}

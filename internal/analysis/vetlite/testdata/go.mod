@@ -1,0 +1,3 @@
+module vetlitetest
+
+go 1.24

@@ -1,0 +1,72 @@
+// Package nn is the nilness analysistest fixture.
+package nn
+
+type Node struct {
+	next *Node
+	val  int
+}
+
+func DerefInNilBranch(p *Node) int {
+	if p == nil {
+		return p.val // want `field access through p, which is nil here`
+	}
+	return p.val
+}
+
+func DerefAfterReassign(p *Node) int {
+	if p == nil {
+		p = &Node{}
+	}
+	return p.val
+}
+
+func DerefInNonNilBranch(p *Node) int {
+	if p != nil {
+		return p.val
+	}
+	return 0
+}
+
+func ElseBranch(p *Node) int {
+	if p != nil {
+		return p.val
+	} else {
+		return p.val // want `field access through p, which is nil here`
+	}
+}
+
+func IndexNilSlice(s []int) int {
+	if s == nil {
+		return s[0] // want `index of s, which is nil here`
+	}
+	return s[0]
+}
+
+func ReadNilMap(m map[string]int) int {
+	if m == nil {
+		return m["k"] // reading a nil map is legal
+	}
+	return m["k"]
+}
+
+func StarDeref(p *int) int {
+	if p == nil {
+		return *p // want `dereference of p, which is nil here`
+	}
+	return *p
+}
+
+// Method calls on nil receivers are legal and not flagged.
+func (n *Node) Len() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.Len()
+}
+
+func CallOnNil(n *Node) int {
+	if n == nil {
+		return n.Len()
+	}
+	return n.Len()
+}

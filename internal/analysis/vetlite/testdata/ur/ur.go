@@ -1,0 +1,20 @@
+// Package ur is the unusedresult analysistest fixture.
+package ur
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func Drops() {
+	fmt.Errorf("dropped: %d", 1)   // want `result of fmt\.Errorf call not used`
+	errors.New("dropped")          // want `result of errors\.New call not used`
+	strings.TrimSpace(" dropped ") // want `result of strings\.TrimSpace call not used`
+}
+
+func Keeps() error {
+	s := strings.TrimSpace(" kept ")
+	fmt.Println(s) // Println's results are conventionally discarded
+	return fmt.Errorf("kept: %s", s)
+}

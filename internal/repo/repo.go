@@ -349,7 +349,7 @@ func (r *Repo) Commit(branch string, payload []byte, message string) (int, error
 	} else if len(r.meta.Versions) > 0 {
 		return 0, fmt.Errorf("repo: %w %q (use Branch to create it)", ErrUnknownBranch, branch)
 	}
-	return r.addVersion(branch, payload, message, parents)
+	return r.addVersionLocked(branch, payload, message, parents)
 }
 
 // Merge commits payload as a merge of branch's tip and other. Following the
@@ -369,7 +369,7 @@ func (r *Repo) Merge(branch string, other int, payload []byte, message string) (
 	if other == tip {
 		return 0, fmt.Errorf("repo: merging %d into its own branch tip: %w", other, ErrInvalidMerge)
 	}
-	return r.addVersion(branch, payload, message, []int{tip, other})
+	return r.addVersionLocked(branch, payload, message, []int{tip, other})
 }
 
 // Branch creates a new branch pointing at version from.
@@ -386,10 +386,10 @@ func (r *Repo) Branch(name string, from int) error {
 	return r.save()
 }
 
-// addVersion appends a version; callers hold the write lock. On failure
+// addVersionLocked appends a version; callers hold the write lock. On failure
 // the in-memory version list and branch tip are rolled back so the served
 // state stays consistent with what was last persisted.
-func (r *Repo) addVersion(branch string, payload []byte, message string, parents []int) (int, error) {
+func (r *Repo) addVersionLocked(branch string, payload []byte, message string, parents []int) (int, error) {
 	id := len(r.meta.Versions)
 	oldTip, hadBranch := r.meta.Branches[branch]
 	rollback := func() {
@@ -952,7 +952,7 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 	r.layout = newLayout
 	if err := r.save(); err != nil {
 		// Keep served state consistent with what was last persisted, as
-		// addVersion does: an unpersisted swap must not be published.
+		// addVersionLocked does: an unpersisted swap must not be published.
 		r.layout = oldLayout
 		return nil, err
 	}
@@ -965,7 +965,7 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 // optimizeCanceled normalizes a context cancellation during Optimize's own
 // phases onto the solver sentinel.
 func optimizeCanceled(cause error) error {
-	return fmt.Errorf("repo: optimize: %w: %v", solve.ErrCanceled, cause)
+	return fmt.Errorf("repo: optimize: %w: %w", solve.ErrCanceled, cause)
 }
 
 // costMatrix differences all versions within the hop radius of the version

@@ -35,7 +35,7 @@ var (
 // Canceled wraps the context's cancellation cause in ErrCanceled; solver
 // loops return it when ctx.Done() fires.
 func canceled(ctx context.Context) error {
-	return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
 }
 
 // checkCtx returns ErrCanceled when ctx is done, nil otherwise — the check

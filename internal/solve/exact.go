@@ -124,7 +124,10 @@ func exactRun(ctx context.Context, inst *Instance, theta float64, opts ExactOpti
 	// the lower bound and whether the walk closed a cycle through `avoid`.
 	chainLB := func(v, avoid int) (float64, bool) {
 		var acc float64
-		for u := v; ; {
+		u := v
+		// A simple parent chain has at most n hops; exceeding that means
+		// the walk closed a cycle that bypassed `avoid`.
+		for steps := 0; steps <= n; steps++ {
 			if u == Root {
 				return acc, false
 			}
@@ -138,6 +141,7 @@ func exactRun(ctx context.Context, inst *Instance, theta float64, opts ExactOpti
 			}
 			u = p
 		}
+		return 0, true
 	}
 
 	var nodes int64

@@ -135,7 +135,10 @@ func lastRun(ctx context.Context, inst *Instance, alpha float64) (*Solution, err
 			break
 		}
 		fixed := false
-		for u := v; ; {
+		u := v
+		// The cycle has at most n vertices, so the walk revisits v (or
+		// repairs an edge) within n steps.
+		for steps := 0; steps <= n; steps++ {
 			se := sptTree.EdgeTo(u)
 			if t.Parent[u] != se.From || t.Recreate[u] != se.Recreate || t.Storage[u] != se.Storage {
 				t.SetEdge(se)

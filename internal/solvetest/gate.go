@@ -71,7 +71,7 @@ func (g *Gate) Solve(ctx context.Context, inst *solve.Instance, req solve.Reques
 		select {
 		case <-release:
 		case <-ctx.Done():
-			return nil, fmt.Errorf("%w: %v", solve.ErrCanceled, context.Cause(ctx))
+			return nil, fmt.Errorf("%w: %w", solve.ErrCanceled, context.Cause(ctx))
 		}
 	}
 	s, err := solve.MinStorage(inst)

@@ -11,6 +11,7 @@
 //	vms -dir D checkout -v N [-out F]
 //	vms -dir D log
 //	vms -dir D stats
+//	vms -dir D gc
 //	vms solvers
 //	vms -dir D optimize -solver mst|spt|lmg|mp|last|gith|exact|p4|p5 \
 //	                    [-budget B] [-budget-factor X] [-theta T] [-alpha A] \
@@ -91,7 +92,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand (init, commit, merge, branch, checkout, log, stats, solvers, optimize, jobs)")
+		return fmt.Errorf("missing subcommand (init, commit, merge, branch, checkout, log, stats, gc, solvers, optimize, jobs)")
 	}
 	cmd, rest := rest[0], rest[1:]
 	if cmd == "solvers" {
@@ -192,6 +193,13 @@ func runLocal(dir, backend string, cache int, cacheBytes int64, cmd string, args
 			return err
 		}
 		fmt.Println("packed loose objects into", path)
+	case "gc":
+		res, err := r.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gc: scanned %d blobs, %d live, collected %d orphans\n",
+			res.Scanned, res.Live, res.Collected)
 	case "stats":
 		st := r.Stats()
 		fmt.Printf("versions:       %d\n", st.Versions)
@@ -208,6 +216,17 @@ func runLocal(dir, backend string, cache int, cacheBytes int64, cmd string, args
 		fmt.Printf("blob reads:     %d\n", st.BlobReads)
 		fmt.Printf("accesses:       %d\n", st.Accesses)
 		fmt.Printf("weighted Φ:     %.0f\n", r.WeightedPhi())
+		if st.Log.Appends > 0 || st.Log.Records > 0 {
+			fmt.Printf("meta log:       %d records, %d bytes, %d compactions, %d replayed",
+				st.Log.Records, st.Log.Bytes, st.Log.Compactions, st.Log.Replayed)
+			if st.Log.TornTails > 0 {
+				fmt.Printf(", %d torn tails repaired", st.Log.TornTails)
+			}
+			fmt.Println()
+		}
+		if st.GCRuns > 0 {
+			fmt.Printf("gc:             %d runs, %d blobs collected\n", st.GCRuns, st.GCCollected)
+		}
 		if hot := r.HotVersions(5); len(hot) > 0 {
 			fmt.Printf("hot versions:  ")
 			for _, h := range hot {
@@ -330,6 +349,13 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 			}
 			fmt.Println()
 		}
+		if st.LogAppends > 0 || st.LogRecords > 0 {
+			fmt.Printf("metalog: records=%d bytes=%d compactions=%d replayed=%d tornTails=%d\n",
+				st.LogRecords, st.LogBytes, st.LogCompactions, st.LogReplayed, st.LogTornTails)
+		}
+		if st.GCRuns > 0 {
+			fmt.Printf("gc: runs=%d collected=%d\n", st.GCRuns, st.GCCollected)
+		}
 		if a := st.Autotune; a != nil {
 			fmt.Printf("autotune: solver=%s jobs=%d debounced=%d commits=%d drift=%.3f inflight=%v\n",
 				a.Solver, a.AutoJobs, a.Debounced, a.CommitsSince, a.Drift, a.InFlight)
@@ -364,6 +390,13 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 		}
 		fmt.Printf("optimized with %s (%s): storage=%.0f ΣR=%.0f maxR=%.0f stored=%d\n",
 			resp.Solver, resp.Algorithm, resp.Storage, resp.SumR, resp.MaxR, resp.StoredBytes)
+	case "gc":
+		res, err := c.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gc: scanned %d blobs, %d live, collected %d orphans\n",
+			res.Scanned, res.Live, res.Collected)
 	case "jobs":
 		fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
 		id := fs.String("id", "", "show a single job")

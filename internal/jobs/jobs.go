@@ -58,6 +58,24 @@ var (
 // and never nil) and honor ctx promptly — Cancel relies on it.
 type Runner func(ctx context.Context, progress func(phase string)) (*solve.Result, error)
 
+// Journal receives job lifecycle events for durable replay: a job
+// submitted with a spec is journaled at submission, when it starts
+// running, and when it reaches a terminal state, so a restarted process
+// can re-enqueue jobs that were still queued and surface jobs that were
+// mid-run as failed. The spec is an opaque string the submitter knows how
+// to turn back into a Runner (the HTTP server uses the optimize request
+// JSON). The repository's metadata log implements this interface; the
+// manager never interprets the spec.
+//
+// Journal calls are made outside the manager's mutex (they perform log
+// I/O) and are best-effort: a failing journal degrades durability, never
+// job execution.
+type Journal interface {
+	JobSubmitted(id, spec string) error
+	JobStarted(id string) error
+	JobFinished(id string) error
+}
+
 // Snapshot is a race-free copy of a job's externally visible state.
 type Snapshot struct {
 	ID      string        `json:"id"`
@@ -82,6 +100,7 @@ func (s Snapshot) Terminal() bool { return s.State.Terminal() }
 // mutable field.
 type job struct {
 	snap   Snapshot
+	spec   string // durable resubmission spec; immutable, empty = not journaled
 	cancel context.CancelFunc
 	done   chan struct{} // closed on terminal transition
 }
@@ -95,6 +114,11 @@ type Manager struct {
 	sem    chan struct{}
 	nextID int
 	closed bool
+
+	// journal, when non-nil, durably records job lifecycle events; set
+	// before concurrent use and read without mu. It is a NoIOLock-safe
+	// arrangement: every journal call happens outside mu.
+	journal Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -119,10 +143,46 @@ func NewManager(workers int) *Manager {
 	}
 }
 
+// SetJournal installs a durable job journal. Call before concurrent use
+// (typically right after NewManager); the manager then reports every
+// spec-carrying submission, start, and terminal transition to it, always
+// outside its own mutex.
+func (m *Manager) SetJournal(j Journal) { m.journal = j }
+
 // Submit registers run under a fresh job id and returns the pending
 // snapshot without waiting for execution. req is descriptive metadata
-// echoed in snapshots (the runner closure does the actual solving).
+// echoed in snapshots (the runner closure does the actual solving). Jobs
+// submitted this way are not journaled — they vanish on restart; use
+// SubmitSpec for durable jobs.
 func (m *Manager) Submit(req solve.Request, run Runner) (Snapshot, error) {
+	return m.submit("", "", req, run, false)
+}
+
+// SubmitSpec is Submit with a durable resubmission spec: the submission is
+// journaled (before the job can possibly start), so a restarted process
+// learns the job existed and can resubmit it from the spec.
+func (m *Manager) SubmitSpec(spec string, req solve.Request, run Runner) (Snapshot, error) {
+	return m.submit("", spec, req, run, true)
+}
+
+// Resubmit re-enqueues a job recovered from the journal under its original
+// id, so clients polling a pre-restart id find their job again. The
+// submission is not re-journaled — the journal already holds it as
+// outstanding; only the eventual terminal transition is recorded. Fresh
+// ids minted later never collide with resubmitted ones.
+func (m *Manager) Resubmit(id, spec string, req solve.Request, run Runner) (Snapshot, error) {
+	if id == "" {
+		return Snapshot{}, fmt.Errorf("jobs: resubmit: empty id")
+	}
+	return m.submit(id, spec, req, run, false)
+}
+
+// submit is the shared submission core. A non-empty id adopts that id
+// (recovery); otherwise a fresh one is minted. journalSubmit reports the
+// submission to the journal — after the job is registered, before its
+// goroutine is spawned, so a Started or Finished event can never precede
+// the Submitted event in the journal.
+func (m *Manager) submit(id, spec string, req solve.Request, run Runner, journalSubmit bool) (Snapshot, error) {
 	if run == nil {
 		return Snapshot{}, fmt.Errorf("jobs: submit: nil runner")
 	}
@@ -131,8 +191,16 @@ func (m *Manager) Submit(req solve.Request, run Runner) (Snapshot, error) {
 		m.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("jobs: submit: %w", ErrClosed)
 	}
-	m.nextID++
-	id := fmt.Sprintf("j%d", m.nextID)
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("j%d", m.nextID)
+	} else {
+		if _, dup := m.jobs[id]; dup {
+			m.mu.Unlock()
+			return Snapshot{}, fmt.Errorf("jobs: submit: id %q already in use", id)
+		}
+		m.adoptIDLocked(id)
+	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &job{
 		snap: Snapshot{
@@ -141,6 +209,7 @@ func (m *Manager) Submit(req solve.Request, run Runner) (Snapshot, error) {
 			Request: req,
 			Created: time.Now().UTC(),
 		},
+		spec:   spec,
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}
@@ -150,8 +219,65 @@ func (m *Manager) Submit(req solve.Request, run Runner) (Snapshot, error) {
 	snap := j.snap
 	m.mu.Unlock()
 
+	if journalSubmit && m.journal != nil && spec != "" {
+		_ = m.journal.JobSubmitted(id, spec)
+	}
 	go m.execute(ctx, j, run)
 	return snap, nil
+}
+
+// AdoptFailed inserts a terminal failed tombstone under id: the fate of a
+// journaled job that was running when the previous process died. Clients
+// polling the old id see a failed job with errMsg (typically naming the
+// retry job) instead of a 404, and the journal's outstanding entry is
+// closed out.
+func (m *Manager) AdoptFailed(id string, req solve.Request, errMsg string) (Snapshot, error) {
+	if id == "" {
+		return Snapshot{}, fmt.Errorf("jobs: adopt: empty id")
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("jobs: adopt: %w", ErrClosed)
+	}
+	if _, dup := m.jobs[id]; dup {
+		m.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("jobs: adopt: id %q already in use", id)
+	}
+	m.adoptIDLocked(id)
+	now := time.Now().UTC()
+	done := make(chan struct{})
+	close(done)
+	j := &job{
+		snap: Snapshot{
+			ID:       id,
+			State:    StateFailed,
+			Request:  req,
+			Created:  now,
+			Finished: now,
+			Err:      errMsg,
+		},
+		cancel: func() {},
+		done:   done,
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	snap := j.snap
+	m.mu.Unlock()
+	if m.journal != nil {
+		_ = m.journal.JobFinished(id)
+	}
+	return snap, nil
+}
+
+// adoptIDLocked advances the id counter past an externally supplied id of
+// the standard "j<n>" form, so fresh ids never collide with recovered
+// ones; callers hold mu.
+func (m *Manager) adoptIDLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.nextID {
+		m.nextID = n
+	}
 }
 
 // execute drives one job through its lifecycle.
@@ -177,6 +303,12 @@ func (m *Manager) execute(ctx context.Context, j *job, run Runner) {
 	j.snap.State = StateRunning
 	j.snap.Started = time.Now().UTC()
 	m.mu.Unlock()
+	if m.journal != nil && j.spec != "" {
+		// Outside mu (log I/O) and strictly before run: a journal that holds
+		// a Started event therefore never misses the job's effects — the
+		// runner has not executed yet.
+		_ = m.journal.JobStarted(j.snap.ID)
+	}
 	progress := func(phase string) {
 		m.mu.Lock()
 		j.snap.Phase = phase
@@ -192,7 +324,6 @@ func (m *Manager) execute(ctx context.Context, j *job, run Runner) {
 // synchronous optimize.
 func (m *Manager) finish(j *job, res *solve.Result, err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.snap.Finished = time.Now().UTC()
 	switch {
 	case err == nil:
@@ -206,6 +337,10 @@ func (m *Manager) finish(j *job, res *solve.Result, err error) {
 		j.snap.Err = err.Error()
 	}
 	close(j.done)
+	m.mu.Unlock()
+	if m.journal != nil && j.spec != "" {
+		_ = m.journal.JobFinished(j.snap.ID)
+	}
 }
 
 // get looks a job up; callers must not hold mu.

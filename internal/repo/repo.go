@@ -33,6 +33,7 @@ import (
 	"versiondb/internal/graph"
 	"versiondb/internal/solve"
 	"versiondb/internal/store"
+	"versiondb/internal/store/metalog"
 )
 
 // Sentinel errors let callers (notably the HTTP server) distinguish
@@ -117,6 +118,35 @@ type Repo struct {
 	// optConflicts counts copy-on-write swap attempts that found commits
 	// landed mid-solve and had to re-snapshot.
 	optConflicts atomic.Int64
+
+	// log is the append-only metadata record log — the durable form when
+	// the backend supports store.LogStore. nil selects the legacy
+	// whole-document path (save). compactEvery is the tail-record count
+	// that triggers snapshot compaction on the commit path.
+	log          *metalog.Log
+	compactEvery int64
+
+	// shadowMu guards shadow: blob addresses a concurrent Optimize has
+	// registered ahead of writing, which GC must not collect even though no
+	// entry references them yet. Values are refcounts (two racing Optimize
+	// attempts may register the same address).
+	shadowMu sync.Mutex
+	shadow   map[store.ID]int
+
+	// jobMu guards the durable-job bookkeeping replayed from the log:
+	// outstanding job specs, submission order, the started subset, and the
+	// ids recovered (vs submitted live). It ranks between the repository
+	// lock and the log mutex; journal appends happen while holding it.
+	jobMu           sync.Mutex
+	jobsOutstanding map[string]string
+	jobsOrder       []string
+	jobsRunning     map[string]bool
+	recoveredOrder  []string
+
+	// gcRuns / gcCollected count mark-and-sweep passes and the orphan
+	// blobs they deleted.
+	gcRuns      atomic.Int64
+	gcCollected atomic.Int64
 }
 
 // DefaultBranch is the branch created by Init.
@@ -137,9 +167,24 @@ func Init(dir string) (*Repo, error) {
 
 var errAlreadyInitialized = errors.New("already initialized")
 
+// newRepoShell allocates a repository shell with every map initialized.
+func newRepoShell(b store.Backend, ms store.MetaStore) *Repo {
+	return &Repo{
+		backend:         b,
+		metaStore:       ms,
+		meta:            meta{Branches: map[string]int{}},
+		compactEvery:    DefaultCompactEvery,
+		shadow:          map[store.ID]int{},
+		jobsOutstanding: map[string]string{},
+		jobsRunning:     map[string]bool{},
+	}
+}
+
 // InitBackend creates a new repository over an arbitrary backend. The
 // backend must also implement store.MetaStore and must not already hold a
-// repository.
+// repository. Backends that additionally implement store.LogStore get
+// metadata-log persistence (commits append records instead of rewriting
+// documents); others use the legacy whole-document path.
 func InitBackend(b store.Backend) (*Repo, error) {
 	ms, ok := b.(store.MetaStore)
 	if !ok {
@@ -152,13 +197,28 @@ func InitBackend(b store.Backend) (*Repo, error) {
 		// that may exist behind it.
 		return nil, fmt.Errorf("repo: init: %w", err)
 	}
-	r := &Repo{
-		backend:   b,
-		metaStore: ms,
-		layout:    emptyLayout(b),
-		meta:      meta{Branches: map[string]int{}},
-		stats:     store.NewAccessStats(ms),
+	r := newRepoShell(b, ms)
+	r.layout = emptyLayout(b)
+	if ls, ok := b.(store.LogStore); ok {
+		l, rec, err := metalog.Open(ms, ls, walName)
+		if err != nil {
+			return nil, fmt.Errorf("repo: init: %w", err)
+		}
+		if rec.Snapshot != nil || len(rec.Records) > 0 {
+			_ = l.Close()
+			return nil, fmt.Errorf("repo: backend: %w", errAlreadyInitialized)
+		}
+		r.log = l
+		r.stats = store.NewAccessStats(nil)
+		r.stats.SetSink(r.accessSink)
+		// The initial empty snapshot is what marks the repository as
+		// initialized for future opens.
+		if err := r.compact(); err != nil {
+			return nil, err
+		}
+		return r, nil
 	}
+	r.stats = store.NewAccessStats(ms)
 	if err := r.save(); err != nil {
 		return nil, err
 	}
@@ -175,18 +235,68 @@ func Open(dir string) (*Repo, error) {
 }
 
 // OpenBackend loads an existing repository from an arbitrary backend.
+// On a store.LogStore backend it recovers from the metadata log: snapshot
+// load plus tail replay, tolerating a torn final record (the signature of
+// a crash mid-append). A legacy whole-document repository opened on a
+// log-capable backend is migrated in place: its state becomes the log's
+// first snapshot and all further writes are appends.
 func OpenBackend(b store.Backend) (*Repo, error) {
 	ms, ok := b.(store.MetaStore)
 	if !ok {
 		return nil, fmt.Errorf("repo: backend %T does not persist metadata", b)
 	}
+	if ls, ok := b.(store.LogStore); ok {
+		l, rec, err := metalog.Open(ms, ls, walName)
+		if err != nil {
+			return nil, fmt.Errorf("repo: open: %w", err)
+		}
+		if rec.Snapshot != nil || len(rec.Records) > 0 {
+			r := newRepoShell(b, ms)
+			r.log = l
+			if err := r.restore(rec); err != nil {
+				_ = l.Close()
+				return nil, err
+			}
+			r.recoveredOrder = append([]string(nil), r.jobsOrder...)
+			return r, nil
+		}
+		// Empty log: either a legacy whole-document repository to migrate,
+		// or nothing at all.
+		if _, err := ms.GetMeta(metaName); errors.Is(err, fs.ErrNotExist) {
+			_ = l.Close()
+			return nil, fmt.Errorf("repo: open: no repository: %w", fs.ErrNotExist)
+		} else if err != nil {
+			_ = l.Close()
+			return nil, fmt.Errorf("repo: open: %w", err)
+		}
+		r, err := openLegacy(b, ms)
+		if err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+		r.log = l
+		r.stats.SetSink(r.accessSink)
+		if err := r.compact(); err != nil {
+			return nil, fmt.Errorf("repo: open: migrating to metadata log: %w", err)
+		}
+		return r, nil
+	}
+	return openLegacy(b, ms)
+}
+
+// openLegacy loads a repository from the whole-document metadata files.
+func openLegacy(b store.Backend, ms store.MetaStore) (*Repo, error) {
 	data, err := ms.GetMeta(metaName)
 	if err != nil {
 		return nil, fmt.Errorf("repo: open: %w", err)
 	}
-	r := &Repo{backend: b, metaStore: ms, stats: store.LoadAccessStats(ms)}
+	r := newRepoShell(b, ms)
+	r.stats = store.LoadAccessStats(ms)
 	if err := json.Unmarshal(data, &r.meta); err != nil {
 		return nil, fmt.Errorf("repo: open: %w", err)
+	}
+	if r.meta.Branches == nil {
+		r.meta.Branches = map[string]int{}
 	}
 	if len(r.meta.Versions) > 0 {
 		if r.layout, err = store.LoadLayout(b); err != nil {
@@ -281,8 +391,13 @@ func (r *Repo) BlobReads() int64 {
 }
 
 // save persists meta and layout; callers hold the write lock (or have
-// exclusive access during construction).
+// exclusive access during construction). In log mode the only way to
+// persist arbitrary in-memory edits (as opposed to incremental records)
+// is a full snapshot, so save compacts.
 func (r *Repo) save() error {
+	if r.log != nil {
+		return r.compact()
+	}
 	data, err := json.MarshalIndent(&r.meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("repo: save: %w", err)
@@ -383,7 +498,11 @@ func (r *Repo) Branch(name string, from int) error {
 		return fmt.Errorf("repo: branch source %d out of range: %w", from, ErrUnknownVersion)
 	}
 	r.meta.Branches[name] = from
-	return r.save()
+	if err := r.persistBranch(name, from); err != nil {
+		delete(r.meta.Branches, name)
+		return err
+	}
+	return nil
 }
 
 // addVersionLocked appends a version; callers hold the write lock. On failure
@@ -400,7 +519,7 @@ func (r *Repo) addVersionLocked(branch string, payload []byte, message string, p
 			delete(r.meta.Branches, branch)
 		}
 	}
-	r.meta.Versions = append(r.meta.Versions, VersionInfo{
+	info := VersionInfo{
 		ID:      id,
 		Parents: parents,
 		Message: message,
@@ -408,7 +527,8 @@ func (r *Repo) addVersionLocked(branch string, payload []byte, message string, p
 		Size:    int64(len(payload)),
 		Time:    time.Now().UTC(),
 		Hash:    string(store.HashBytes(payload)),
-	})
+	}
+	r.meta.Versions = append(r.meta.Versions, info)
 	r.meta.Branches[branch] = id
 	// Incremental physical placement: delta against first parent when
 	// profitable, else materialize. (Optimize re-balances globally.)
@@ -439,7 +559,7 @@ func (r *Repo) addVersionLocked(branch string, payload []byte, message string, p
 	// Recorded before save so the save-time flush persists it (telemetry
 	// is advisory: a phantom count from a rolled-back commit is harmless).
 	r.stats.Record(id)
-	if err := r.save(); err != nil {
+	if err := r.persistCommit(info, entry); err != nil {
 		r.layout.Entries = r.layout.Entries[:id]
 		rollback()
 		return 0, err
@@ -541,7 +661,7 @@ func (r *Repo) VersionHash(v int) (string, error) {
 	r.mu.Lock()
 	if v < len(r.meta.Versions) && r.meta.Versions[v].Hash == "" {
 		r.meta.Versions[v].Hash = h
-		_ = r.save()
+		_ = r.persistHash(v, h)
 	}
 	r.mu.Unlock()
 	return h, nil
@@ -575,6 +695,14 @@ type Stats struct {
 	// telemetry layer has recorded — checkouts plus commit
 	// materializations.
 	Accesses uint64
+	// Log is the metadata record log's counters (tail records, device
+	// bytes, appends, compactions, records replayed at startup, torn tails
+	// repaired); all zeros on the legacy whole-document path.
+	Log metalog.Stats
+	// GCRuns / GCCollected count mark-and-sweep passes and the orphan
+	// blobs they deleted.
+	GCRuns      int64
+	GCCollected int64
 }
 
 // Stats computes the current storage statistics. Chain statistics come
@@ -594,6 +722,10 @@ func (r *Repo) Stats() Stats {
 	st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	st.CacheEntries, st.CacheBytes, st.CacheBudgetBytes = cs.Entries, cs.BytesResident, cs.BudgetBytes
 	st.Accesses = r.stats.Total()
+	if r.log != nil {
+		st.Log = r.log.Stats()
+	}
+	st.GCRuns, st.GCCollected = r.gcRuns.Load(), r.gcCollected.Load()
 	for _, v := range r.meta.Versions {
 		st.LogicalBytes += v.Size
 	}
@@ -929,10 +1061,20 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 		return nil, err
 	}
 	progress("rewrite")
-	newLayout, err := store.BuildLayout(r.backend, payloads, res.Tree, opts.Compress)
+	// The shadow build writes through a recorder that registers every blob
+	// address before its Put, protecting in-flight blobs from a concurrent
+	// GC (see shadowRecorder); the served layout is then rebuilt over the
+	// bare backend so the recorder never sits on the checkout path. The
+	// protections drop when this attempt returns — after a successful swap
+	// is persisted (defers run last-in-first-out, so release follows the
+	// unlock), or on failure, when the blobs become collectible orphans.
+	shadow := newShadowRecorder(r)
+	defer shadow.release()
+	built, err := store.BuildLayout(shadow, payloads, res.Tree, opts.Compress)
 	if err != nil {
 		return nil, err
 	}
+	newLayout := store.NewLayoutFromEntries(r.backend, built.Entries)
 
 	// Phase 3 — swap under a brief write lock, but only if the snapshot is
 	// still current. Version ids are append-only indices, so an unchanged
@@ -950,7 +1092,7 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 	}
 	oldLayout := r.layout
 	r.layout = newLayout
-	if err := r.save(); err != nil {
+	if err := r.persistSwap(); err != nil {
 		// Keep served state consistent with what was last persisted, as
 		// addVersionLocked does: an unpersisted swap must not be published.
 		r.layout = oldLayout

@@ -1,0 +1,515 @@
+// Metadata-log persistence: the repository's durable form when the
+// backend supports append-only logs (store.LogStore). Every state change
+// — a commit, a branch, an Optimize layout swap, a hash backfill, an
+// access-telemetry flush, a job lifecycle event — is one typed record
+// appended to a metalog.Log, instead of rewriting meta.json and
+// layout.json whole. Startup replays the last compaction snapshot plus
+// the record tail; a torn final record (power cut mid-append) is
+// truncated away by the log layer, so the repository always reopens onto
+// a whole-record prefix of its history. Backends without LogStore keep
+// the legacy whole-document path (see save).
+package repo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"versiondb/internal/store"
+	"versiondb/internal/store/metalog"
+)
+
+// walName is the metadata log's device/snapshot name pair
+// ("metalog.wal" on a filesystem backend, "metalog_snapshot.json" in the
+// MetaStore).
+const walName = "metalog"
+
+// DefaultCompactEvery is how many tail records may accumulate before the
+// commit path folds them into a fresh snapshot.
+const DefaultCompactEvery = 1024
+
+// Record types. Values are part of the on-disk format — never renumber.
+const (
+	recCommit       metalog.Type = 1 // commitRecord: one new version + its layout entry
+	recBranch       metalog.Type = 2 // branchRecord: a new branch head
+	recLayoutSwap   metalog.Type = 3 // layoutSwapRecord: Optimize replaced the entry table
+	recAccess       metalog.Type = 4 // sparse access-telemetry delta (store.AccessStats)
+	recHash         metalog.Type = 5 // hashRecord: lazy payload-hash backfill
+	recJobSubmitted metalog.Type = 6 // jobRecord: a durable job was accepted
+	recJobStarted   metalog.Type = 7 // jobRecord (Spec empty): the job began running
+	recJobFinished  metalog.Type = 8 // jobRecord (Spec empty): the job reached a terminal state
+)
+
+// commitRecord is one committed version with its physical placement.
+type commitRecord struct {
+	Version VersionInfo `json:"version"`
+	Entry   store.Entry `json:"entry"`
+}
+
+// branchRecord is one branch creation.
+type branchRecord struct {
+	Name string `json:"name"`
+	From int    `json:"from"`
+}
+
+// layoutSwapRecord is a whole-table replacement from an Optimize swap:
+// O(versions) once per re-layout, which already rewrote every blob.
+type layoutSwapRecord struct {
+	Entries []store.Entry `json:"entries"`
+}
+
+// hashRecord backfills a pre-hash version's payload hash.
+type hashRecord struct {
+	ID   int    `json:"id"`
+	Hash string `json:"hash"`
+}
+
+// jobRecord tracks a durable background job through its lifecycle.
+type jobRecord struct {
+	ID   string `json:"id"`
+	Spec string `json:"spec,omitempty"`
+}
+
+// snapshotState is the full repository state a compaction captures: replay
+// starts here and applies only records newer than the snapshot.
+type snapshotState struct {
+	Meta    meta            `json:"meta"`
+	Entries []store.Entry   `json:"entries"`
+	Access  json.RawMessage `json:"access,omitempty"`
+	Jobs    []jobRecord     `json:"jobs,omitempty"`    // outstanding, submission order
+	Running []string        `json:"running,omitempty"` // subset of Jobs that had started
+}
+
+// RecoveredJob is a durable job the previous process left unfinished, as
+// reported by RecoveredJobs after a restart.
+type RecoveredJob struct {
+	// ID is the job's original id; resubmitting under it keeps pre-restart
+	// clients' polls working.
+	ID string
+	// Spec is the opaque submission spec (the HTTP server's optimize
+	// request JSON).
+	Spec string
+	// WasRunning distinguishes a job that had started (its effects are
+	// unknown — surface as failed, retry fresh) from one still queued
+	// (re-enqueue as if nothing happened).
+	WasRunning bool
+}
+
+// appendJSON marshals v and appends it as one record of type t.
+func (r *Repo) appendJSON(t metalog.Type, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("repo: log record: %w", err)
+	}
+	return r.log.Append(t, data)
+}
+
+// accessSink routes access-telemetry flushes into the log. Installed on
+// the repository's AccessStats in log mode; called under the stats
+// flushMu, which ranks below the log mutex.
+func (r *Repo) accessSink(delta []byte) error {
+	return r.log.Append(recAccess, delta)
+}
+
+// persistCommit durably records one new version; callers hold the write
+// lock. In log mode this is one O(record) append — the scaling unlock
+// over rewriting meta.json and layout.json whole — plus a best-effort
+// telemetry flush (folded into the log, so an unclean shutdown no longer
+// drops the final decay window) and a compaction check.
+func (r *Repo) persistCommit(v VersionInfo, e store.Entry) error {
+	if r.log == nil {
+		return r.save()
+	}
+	if err := r.appendJSON(recCommit, commitRecord{Version: v, Entry: e}); err != nil {
+		return err
+	}
+	_ = r.stats.Flush()
+	r.maybeCompact()
+	return nil
+}
+
+// persistBranch durably records a branch creation; callers hold the write
+// lock.
+func (r *Repo) persistBranch(name string, from int) error {
+	if r.log == nil {
+		return r.save()
+	}
+	if err := r.appendJSON(recBranch, branchRecord{Name: name, From: from}); err != nil {
+		return err
+	}
+	r.maybeCompact()
+	return nil
+}
+
+// persistSwap durably records an Optimize layout swap; callers hold the
+// write lock with r.layout already pointing at the new table.
+func (r *Repo) persistSwap() error {
+	if r.log == nil {
+		return r.save()
+	}
+	entries := append([]store.Entry(nil), r.layout.Entries...)
+	if err := r.appendJSON(recLayoutSwap, layoutSwapRecord{Entries: entries}); err != nil {
+		return err
+	}
+	r.maybeCompact()
+	return nil
+}
+
+// persistHash durably records a hash backfill; callers hold the write
+// lock.
+func (r *Repo) persistHash(id int, hash string) error {
+	if r.log == nil {
+		return r.save()
+	}
+	return r.appendJSON(recHash, hashRecord{ID: id, Hash: hash})
+}
+
+// maybeCompact folds the record tail into a fresh snapshot once it has
+// grown past the threshold; callers hold the write lock. Best-effort: a
+// failed compaction leaves a longer tail for the next try, never a broken
+// repository (the snapshot write is atomic and replay skips by sequence).
+func (r *Repo) maybeCompact() {
+	if r.log.TailRecords() >= r.compactEvery {
+		_ = r.compact()
+	}
+}
+
+// compact captures the full current state as the log's new snapshot;
+// callers hold the write lock (or have exclusive access during
+// construction).
+func (r *Repo) compact() error {
+	st := snapshotState{
+		Meta:    r.meta,
+		Entries: r.layout.Entries,
+	}
+	if doc, err := r.stats.MarshalDoc(); err == nil {
+		st.Access = doc
+	}
+	r.jobMu.Lock()
+	for _, id := range r.jobsOrder {
+		st.Jobs = append(st.Jobs, jobRecord{ID: id, Spec: r.jobsOutstanding[id]})
+		if r.jobsRunning[id] {
+			st.Running = append(st.Running, id)
+		}
+	}
+	r.jobMu.Unlock()
+	data, err := json.Marshal(&st)
+	if err != nil {
+		return fmt.Errorf("repo: snapshot: %w", err)
+	}
+	return r.log.Compact(data)
+}
+
+// restore rebuilds the repository's in-memory state from a metadata-log
+// recovery: unmarshal the snapshot, then apply the record tail in order.
+// Unknown record types are skipped (forward compatibility); records that
+// contradict the accumulated state mark real corruption and fail the
+// open.
+func (r *Repo) restore(rec *metalog.Recovery) error {
+	st := snapshotState{}
+	if rec.Snapshot != nil {
+		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
+			return fmt.Errorf("repo: restore: snapshot: %w", err)
+		}
+	}
+	if st.Meta.Branches == nil {
+		st.Meta.Branches = map[string]int{}
+	}
+	r.meta = st.Meta
+	entries := st.Entries
+	r.stats = store.LoadAccessStatsData(st.Access)
+	for _, j := range st.Jobs {
+		r.jobsOutstanding[j.ID] = j.Spec
+		r.jobsOrder = append(r.jobsOrder, j.ID)
+	}
+	for _, id := range st.Running {
+		r.jobsRunning[id] = true
+	}
+
+	for _, record := range rec.Records {
+		switch record.Type {
+		case recCommit:
+			var cr commitRecord
+			if err := json.Unmarshal(record.Data, &cr); err != nil {
+				return fmt.Errorf("repo: restore: commit record seq %d: %w", record.Seq, err)
+			}
+			if cr.Version.ID != len(r.meta.Versions) {
+				return fmt.Errorf("repo: restore: commit record seq %d: version %d after %d versions",
+					record.Seq, cr.Version.ID, len(r.meta.Versions))
+			}
+			r.meta.Versions = append(r.meta.Versions, cr.Version)
+			r.meta.Branches[cr.Version.Branch] = cr.Version.ID
+			entries = append(entries, cr.Entry)
+		case recBranch:
+			var br branchRecord
+			if err := json.Unmarshal(record.Data, &br); err != nil {
+				return fmt.Errorf("repo: restore: branch record seq %d: %w", record.Seq, err)
+			}
+			r.meta.Branches[br.Name] = br.From
+		case recLayoutSwap:
+			var sr layoutSwapRecord
+			if err := json.Unmarshal(record.Data, &sr); err != nil {
+				return fmt.Errorf("repo: restore: swap record seq %d: %w", record.Seq, err)
+			}
+			entries = sr.Entries
+		case recAccess:
+			r.stats.ApplyDelta(record.Data)
+		case recHash:
+			var hr hashRecord
+			if err := json.Unmarshal(record.Data, &hr); err != nil {
+				return fmt.Errorf("repo: restore: hash record seq %d: %w", record.Seq, err)
+			}
+			if hr.ID >= 0 && hr.ID < len(r.meta.Versions) {
+				r.meta.Versions[hr.ID].Hash = hr.Hash
+			}
+		case recJobSubmitted:
+			var jr jobRecord
+			if err := json.Unmarshal(record.Data, &jr); err != nil {
+				return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
+			}
+			if _, ok := r.jobsOutstanding[jr.ID]; !ok {
+				r.jobsOrder = append(r.jobsOrder, jr.ID)
+			}
+			r.jobsOutstanding[jr.ID] = jr.Spec
+		case recJobStarted:
+			var jr jobRecord
+			if err := json.Unmarshal(record.Data, &jr); err != nil {
+				return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
+			}
+			r.jobsRunning[jr.ID] = true
+		case recJobFinished:
+			var jr jobRecord
+			if err := json.Unmarshal(record.Data, &jr); err != nil {
+				return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
+			}
+			r.dropJob(jr.ID)
+		default:
+			// Newer record type than this binary knows: skip, don't fail —
+			// the log is append-only and forward-compatible by design.
+		}
+	}
+	if len(entries) != len(r.meta.Versions) {
+		return fmt.Errorf("repo: restore: %d layout entries for %d versions", len(entries), len(r.meta.Versions))
+	}
+	r.layout = store.NewLayoutFromEntries(r.backend, entries)
+	r.stats.SetSink(r.accessSink)
+	return nil
+}
+
+// dropJob removes a job from the outstanding set; callers hold jobMu or
+// have exclusive access during restore.
+func (r *Repo) dropJob(id string) {
+	if _, ok := r.jobsOutstanding[id]; !ok {
+		delete(r.jobsRunning, id)
+		return
+	}
+	delete(r.jobsOutstanding, id)
+	delete(r.jobsRunning, id)
+	order := r.jobsOrder[:0]
+	for _, j := range r.jobsOrder {
+		if j != id {
+			order = append(order, j)
+		}
+	}
+	r.jobsOrder = order
+}
+
+// SetLogCompactEvery overrides how many tail records may accumulate before
+// the commit path compacts the log (≤ 0 restores the default). Call before
+// concurrent use; no-op for repositories on the legacy whole-document
+// path.
+func (r *Repo) SetLogCompactEvery(n int64) {
+	if n <= 0 {
+		n = DefaultCompactEvery
+	}
+	r.compactEvery = n
+}
+
+// LogStats reports the metadata log's counters; all zeros on the legacy
+// whole-document path.
+func (r *Repo) LogStats() metalog.Stats {
+	if r.log == nil {
+		return metalog.Stats{}
+	}
+	return r.log.Stats()
+}
+
+// JobSubmitted implements the job journal (jobs.Journal): a durable job
+// was accepted. Called by the job manager outside all repository locks.
+func (r *Repo) JobSubmitted(id, spec string) error {
+	r.jobMu.Lock()
+	if _, ok := r.jobsOutstanding[id]; !ok {
+		r.jobsOrder = append(r.jobsOrder, id)
+	}
+	r.jobsOutstanding[id] = spec
+	r.jobMu.Unlock()
+	if r.log == nil {
+		return nil
+	}
+	return r.appendJSON(recJobSubmitted, jobRecord{ID: id, Spec: spec})
+}
+
+// JobStarted implements the job journal: the job began running, so its
+// effects are no longer replay-safe — a crash from here surfaces it as
+// failed rather than silently re-running it.
+func (r *Repo) JobStarted(id string) error {
+	r.jobMu.Lock()
+	r.jobsRunning[id] = true
+	r.jobMu.Unlock()
+	if r.log == nil {
+		return nil
+	}
+	return r.appendJSON(recJobStarted, jobRecord{ID: id})
+}
+
+// JobFinished implements the job journal: the job reached a terminal
+// state and needs nothing from a future recovery.
+func (r *Repo) JobFinished(id string) error {
+	r.jobMu.Lock()
+	r.dropJob(id)
+	r.jobMu.Unlock()
+	if r.log == nil {
+		return nil
+	}
+	return r.appendJSON(recJobFinished, jobRecord{ID: id})
+}
+
+// RecoveredJobs returns the durable jobs the previous process left
+// unfinished, in submission order — the server resubmits queued ones under
+// their original ids and surfaces started ones as failed-with-retry. Jobs
+// submitted by the current process are excluded: they are alive in the job
+// manager, not recovered.
+func (r *Repo) RecoveredJobs() []RecoveredJob {
+	r.jobMu.Lock()
+	defer r.jobMu.Unlock()
+	out := make([]RecoveredJob, 0, len(r.recoveredOrder))
+	for _, id := range r.recoveredOrder {
+		spec, ok := r.jobsOutstanding[id]
+		if !ok {
+			continue // finished between restore and this call
+		}
+		out = append(out, RecoveredJob{ID: id, Spec: spec, WasRunning: r.jobsRunning[id]})
+	}
+	return out
+}
+
+// GCResult summarizes one mark-and-sweep pass.
+type GCResult struct {
+	// Scanned is how many blobs the backend listed.
+	Scanned int `json:"scanned"`
+	// Live is how many were referenced by the current layout or protected
+	// as a concurrent Optimize's shadow writes.
+	Live int `json:"live"`
+	// Collected is how many orphans were deleted.
+	Collected int `json:"collected"`
+}
+
+// GC deletes orphaned blobs: content-addressed blobs no layout entry
+// references — the debris of failed commits, discarded Optimize attempts,
+// and compacted-away layout generations. The mark set is the current
+// entry table, read under the read lock, which is held across the sweep so
+// no commit can add a reference mid-pass (commits take the write lock);
+// checkouts proceed throughout, since only non-referenced blobs are
+// touched. Blobs a concurrent Optimize has shadow-written (registered
+// before their Put, see shadowRecorder) are skipped; the per-blob check
+// and delete share the shadow mutex, so a blob can never be deleted after
+// Optimize observed it as already present.
+//
+// Call GC only when no checkout stream opened before the last Optimize is
+// still draining: a retired layout's chain blobs look like orphans.
+func (r *Repo) GC() (GCResult, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	live := make(map[store.ID]bool, len(r.layout.Entries))
+	for _, e := range r.layout.Entries {
+		live[e.Blob] = true
+	}
+	ids, err := r.backend.List()
+	if err != nil {
+		return GCResult{}, fmt.Errorf("repo: gc: %w", err)
+	}
+	res := GCResult{Scanned: len(ids)}
+	for _, id := range ids {
+		if live[id] {
+			res.Live++
+			continue
+		}
+		r.shadowMu.Lock()
+		if r.shadow[id] > 0 {
+			r.shadowMu.Unlock()
+			res.Live++
+			continue
+		}
+		err := r.backend.Delete(id)
+		r.shadowMu.Unlock()
+		if err != nil {
+			return res, fmt.Errorf("repo: gc: %w", err)
+		}
+		res.Collected++
+	}
+	r.gcRuns.Add(1)
+	r.gcCollected.Add(int64(res.Collected))
+	return res, nil
+}
+
+// GCStats returns cumulative GC counters: passes run and orphans
+// collected.
+func (r *Repo) GCStats() (runs, collected int64) {
+	return r.gcRuns.Load(), r.gcCollected.Load()
+}
+
+// shadowRecorder wraps the backend for Optimize's shadow build: every blob
+// is registered in the repository's shadow set before it is written, and
+// stays registered until release. This closes the content-addressed race
+// with GC — without it, Optimize's Put could no-op on a blob that already
+// exists (say, from a retired layout), GC could then judge that blob an
+// orphan and delete it, and the swapped-in layout would reference a
+// missing blob. With registration-before-Put and GC's check-and-delete
+// under the same mutex, either GC sees the registration and spares the
+// blob, or its delete completes before the registration and the Put that
+// follows rewrites the blob.
+type shadowRecorder struct {
+	store.Backend
+	repo *Repo
+	ids  []store.ID
+}
+
+func newShadowRecorder(r *Repo) *shadowRecorder {
+	return &shadowRecorder{Backend: r.backend, repo: r}
+}
+
+// Put registers the blob's address as shadow-protected, then writes it.
+func (s *shadowRecorder) Put(data []byte) (store.ID, error) {
+	id := store.HashBytes(data)
+	s.repo.shadowMu.Lock()
+	s.repo.shadow[id]++
+	s.ids = append(s.ids, id)
+	s.repo.shadowMu.Unlock()
+	return s.Backend.Put(data)
+}
+
+// release drops this build's shadow protections: after a successful swap
+// the blobs are referenced by the live entry table; after a failed one
+// they are orphans for GC to collect.
+func (s *shadowRecorder) release() {
+	s.repo.shadowMu.Lock()
+	for _, id := range s.ids {
+		if s.repo.shadow[id] <= 1 {
+			delete(s.repo.shadow, id)
+		} else {
+			s.repo.shadow[id]--
+		}
+	}
+	s.ids = nil
+	s.repo.shadowMu.Unlock()
+}
+
+// Close flushes pending telemetry and releases the metadata log. The
+// repository must not be used afterwards. Safe on legacy-path
+// repositories (flush only).
+func (r *Repo) Close() error {
+	_ = r.stats.Flush()
+	if r.log == nil {
+		return nil
+	}
+	return r.log.Close()
+}

@@ -62,14 +62,16 @@ type AccessStats struct {
 
 	mu         sync.Mutex
 	ms         MetaStore
+	sink       func(delta []byte) error
 	halfLife   time.Duration
 	flushEvery int
 	now        func() time.Time
 
-	counts []float64
-	stamps []time.Time
-	total  uint64 // raw (undecayed) accesses ever recorded
-	dirty  int    // records since last flush
+	counts   []float64
+	stamps   []time.Time
+	total    uint64           // raw (undecayed) accesses ever recorded
+	dirty    int              // records since last flush
+	dirtySet map[int]struct{} // versions recorded since last flush
 }
 
 // accessStatsDoc is the persisted form: counts are folded to SavedAt so the
@@ -79,6 +81,18 @@ type accessStatsDoc struct {
 	Total           uint64    `json:"total"`
 	SavedAt         time.Time `json:"saved_at"`
 	Counts          []float64 `json:"counts"`
+}
+
+// accessDeltaDoc is the sparse flush form written through a sink (a
+// metadata-log record): only the versions touched since the previous flush,
+// with their absolute decayed counts folded to SavedAt. Replaying deltas in
+// order over a base document reconstructs the counters without ever
+// persisting the full O(versions) array on the commit path.
+type accessDeltaDoc struct {
+	HalfLifeSeconds float64         `json:"half_life_seconds"`
+	Total           uint64          `json:"total"`
+	SavedAt         time.Time       `json:"saved_at"`
+	Sparse          map[int]float64 `json:"sparse"`
 }
 
 // NewAccessStats returns empty telemetry persisting through ms (nil ms
@@ -118,6 +132,94 @@ func LoadAccessStats(ms MetaStore) *AccessStats {
 		as.stamps[i] = doc.SavedAt
 	}
 	return as
+}
+
+// LoadAccessStatsData restores telemetry from a raw full document (a
+// metadata-log snapshot's access section). Like LoadAccessStats, any
+// failure — nil data, corrupt JSON — yields fresh empty stats; telemetry is
+// advisory. The result persists nowhere until a sink is attached with
+// SetSink.
+func LoadAccessStatsData(data []byte) *AccessStats {
+	as := NewAccessStats(nil)
+	if len(data) == 0 {
+		return as
+	}
+	var doc accessStatsDoc
+	if json.Unmarshal(data, &doc) != nil {
+		return as
+	}
+	if doc.HalfLifeSeconds > 0 {
+		as.halfLife = time.Duration(doc.HalfLifeSeconds * float64(time.Second))
+	}
+	as.total = doc.Total
+	as.counts = doc.Counts
+	as.stamps = make([]time.Time, len(doc.Counts))
+	for i := range as.stamps {
+		as.stamps[i] = doc.SavedAt
+	}
+	return as
+}
+
+// SetSink routes flushes through fn instead of the MetaStore: fn receives a
+// sparse delta document (only versions touched since the previous flush)
+// suitable for appending to a metadata log, where the whole-document
+// MetaStore write would pay O(versions) per flush. Call before concurrent
+// use.
+func (a *AccessStats) SetSink(fn func(delta []byte) error) { a.sink = fn }
+
+// ApplyDelta folds one sparse delta document (as produced by a sink-routed
+// Flush) into the counters — the metadata-log replay path. Deltas carry
+// absolute decayed counts, so applying them in append order is idempotent
+// per version. Corrupt deltas are ignored: telemetry is advisory.
+func (a *AccessStats) ApplyDelta(data []byte) {
+	var doc accessDeltaDoc
+	if json.Unmarshal(data, &doc) != nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if doc.HalfLifeSeconds > 0 {
+		a.halfLife = time.Duration(doc.HalfLifeSeconds * float64(time.Second))
+	}
+	if doc.Total > a.total {
+		a.total = doc.Total
+	}
+	for v, c := range doc.Sparse {
+		if v < 0 {
+			continue
+		}
+		a.grow(v)
+		a.counts[v] = c
+		a.stamps[v] = doc.SavedAt
+	}
+}
+
+// MarshalDoc renders the full counter state as a document (counts folded to
+// now) — the access section of a metadata-log compaction snapshot.
+func (a *AccessStats) MarshalDoc() ([]byte, error) {
+	a.mu.Lock()
+	doc := a.fullDoc()
+	a.mu.Unlock()
+	data, err := json.Marshal(&doc)
+	if err != nil {
+		return nil, fmt.Errorf("store: access stats: %w", err)
+	}
+	return data, nil
+}
+
+// fullDoc folds every counter to now; callers hold mu.
+func (a *AccessStats) fullDoc() accessStatsDoc {
+	now := a.now()
+	doc := accessStatsDoc{
+		HalfLifeSeconds: a.halfLife.Seconds(),
+		Total:           a.total,
+		SavedAt:         now,
+		Counts:          make([]float64, len(a.counts)),
+	}
+	for i, c := range a.counts {
+		doc.Counts[i] = c * a.decayFactor(now.Sub(a.stamps[i]))
+	}
+	return doc
 }
 
 // SetHalfLife overrides the decay half-life (≤ 0 disables decay). Call
@@ -163,6 +265,10 @@ func (a *AccessStats) Record(v int) {
 	a.stamps[v] = now
 	a.total++
 	a.dirty++
+	if a.dirtySet == nil {
+		a.dirtySet = map[int]struct{}{}
+	}
+	a.dirtySet[v] = struct{}{}
 	flush := a.flushEvery > 0 && a.dirty >= a.flushEvery
 	a.mu.Unlock()
 	if flush {
@@ -260,24 +366,40 @@ func (a *AccessStats) Flush() error {
 	a.flushMu.Lock()
 	defer a.flushMu.Unlock()
 	a.mu.Lock()
-	if a.ms == nil || (a.dirty == 0 && a.total > 0) {
+	if (a.ms == nil && a.sink == nil) || (a.dirty == 0 && a.total > 0) {
 		a.mu.Unlock()
 		return nil // nothing to persist, or nothing new since the last flush
 	}
 	a.dirty = 0
-	now := a.now()
-	doc := accessStatsDoc{
-		HalfLifeSeconds: a.halfLife.Seconds(),
-		Total:           a.total,
-		SavedAt:         now,
-		Counts:          make([]float64, len(a.counts)),
+	var data []byte
+	var err error
+	if a.sink != nil {
+		// Sink mode: a sparse delta covering only the versions touched since
+		// the last flush — O(dirty), not O(versions), per flush.
+		now := a.now()
+		doc := accessDeltaDoc{
+			HalfLifeSeconds: a.halfLife.Seconds(),
+			Total:           a.total,
+			SavedAt:         now,
+			Sparse:          make(map[int]float64, len(a.dirtySet)),
+		}
+		for v := range a.dirtySet {
+			doc.Sparse[v] = a.counts[v] * a.decayFactor(now.Sub(a.stamps[v]))
+		}
+		a.dirtySet = nil
+		a.mu.Unlock()
+		if data, err = json.Marshal(&doc); err != nil {
+			return fmt.Errorf("store: access stats: %w", err)
+		}
+		if err := a.sink(data); err != nil {
+			return fmt.Errorf("store: access stats: %w", err)
+		}
+		return nil
 	}
-	for i, c := range a.counts {
-		doc.Counts[i] = c * a.decayFactor(now.Sub(a.stamps[i]))
-	}
+	doc := a.fullDoc()
+	a.dirtySet = nil
 	a.mu.Unlock()
-	data, err := json.Marshal(&doc)
-	if err != nil {
+	if data, err = json.Marshal(&doc); err != nil {
 		return fmt.Errorf("store: access stats: %w", err)
 	}
 	if err := a.ms.PutMeta(accessStatsName, data); err != nil {

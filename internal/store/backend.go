@@ -46,12 +46,41 @@ type BlobStreamer interface {
 	GetStream(id ID) (io.ReadCloser, error)
 }
 
+// LogDevice is an append-only byte log — the durable medium beneath the
+// metadata record log (internal/store/metalog). Unlike PutMeta it is NOT
+// atomic: a crash mid-Append may leave a torn tail, and that is the point —
+// the record log's framing (length prefix + checksum) detects the tear and
+// recovery truncates back to the last whole record via Truncate. Append
+// must be durable when it returns without error; a partial write must
+// surface an error.
+type LogDevice interface {
+	// ReadAll returns the device's entire current contents.
+	ReadAll() ([]byte, error)
+	// Append writes p at the end of the device, durably.
+	Append(p []byte) error
+	// Truncate discards all bytes at offsets ≥ size (torn-tail repair and
+	// log compaction reset).
+	Truncate(size int64) error
+	// Close releases the device; the log bytes persist.
+	Close() error
+}
+
+// LogStore is an optional backend capability: named append-only logs next
+// to the blobs and metadata documents. Backends without it fall back to
+// whole-document metadata persistence through MetaStore — functional, but
+// with O(n) write amplification per commit.
+type LogStore interface {
+	OpenLog(name string) (LogDevice, error)
+}
+
 // Compile-time conformance of both shipped backends.
 var (
 	_ Backend      = (*ObjectStore)(nil)
 	_ MetaStore    = (*ObjectStore)(nil)
 	_ BlobStreamer = (*ObjectStore)(nil)
+	_ LogStore     = (*ObjectStore)(nil)
 	_ Backend      = (*MemStore)(nil)
 	_ MetaStore    = (*MemStore)(nil)
 	_ BlobStreamer = (*MemStore)(nil)
+	_ LogStore     = (*MemStore)(nil)
 )

@@ -636,6 +636,15 @@ func (l *Layout) Save() error {
 	return ms.PutMeta(layoutMetaName, data)
 }
 
+// NewLayoutFromEntries builds a layout over b serving the given entry
+// table without touching a single blob: the constructor behind
+// metadata-log replay (where entries come from commit and swap records
+// rather than layout.json) and behind Optimize's shadow-build handoff
+// (where blobs were already written through a recording wrapper).
+func NewLayoutFromEntries(b Backend, entries []Entry) *Layout {
+	return &Layout{backend: b, Entries: entries}
+}
+
 // LoadLayout reads layout metadata from the backend's MetaStore.
 func LoadLayout(b Backend) (*Layout, error) {
 	ms, ok := b.(MetaStore)

@@ -16,11 +16,12 @@ type MemStore struct {
 	mu    sync.RWMutex
 	blobs map[ID][]byte
 	meta  map[string][]byte
+	logs  map[string]*memLogDevice
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{blobs: map[ID][]byte{}, meta: map[string][]byte{}}
+	return &MemStore{blobs: map[ID][]byte{}, meta: map[string][]byte{}, logs: map[string]*memLogDevice{}}
 }
 
 // Put stores a copy of data under its content address.
@@ -125,3 +126,50 @@ func (s *MemStore) GetMeta(name string) ([]byte, error) {
 	}
 	return append([]byte(nil), data...), nil
 }
+
+// OpenLog returns the named in-memory append-only log, creating it on
+// first open. The log bytes live as long as the store, so reopening a
+// repository over the same MemStore exercises the real recovery path —
+// the property the metalog and faultfs test harnesses lean on.
+func (s *MemStore) OpenLog(name string) (LogDevice, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.logs[name]
+	if !ok {
+		d = &memLogDevice{}
+		s.logs[name] = d
+	}
+	return d, nil
+}
+
+// memLogDevice is the in-memory LogDevice: a growable byte slice under its
+// own mutex (a leaf lock — it calls nothing while held).
+type memLogDevice struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (d *memLogDevice) ReadAll() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.data...), nil
+}
+
+func (d *memLogDevice) Append(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data = append(d.data, p...)
+	return nil
+}
+
+func (d *memLogDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if size < 0 || size > int64(len(d.data)) {
+		return fmt.Errorf("store: log truncate %d out of range [0,%d]", size, len(d.data))
+	}
+	d.data = d.data[:size]
+	return nil
+}
+
+func (d *memLogDevice) Close() error { return nil }

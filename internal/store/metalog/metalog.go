@@ -1,0 +1,318 @@
+// Package metalog is the append-only metadata record log behind the
+// repository's persistence. The whole-document MetaStore scheme rewrote
+// meta.json / layout.json / access_stats.json in full on every commit and
+// flush — O(n) write amplification that caps the archive far below a
+// millions-of-versions scale. Here every state change is one appended
+// record instead: typed payloads behind a length-prefixed, checksummed
+// binary framing, written durably to a store.LogDevice.
+//
+// Recovery is snapshot-load plus tail replay. Compact persists a full
+// state snapshot atomically through the MetaStore (so it is itself
+// crash-safe) stamped with the sequence number it covers, then resets the
+// device; Open loads the snapshot and replays only records with a higher
+// sequence. A crash between the snapshot write and the device reset is
+// harmless — stale records are skipped by sequence — and a crash mid-append
+// leaves a torn final record that replay detects (short frame or checksum
+// mismatch), truncates away, and reports, never a corrupt state.
+//
+// The log knows nothing about what the records mean: payloads are opaque
+// bytes the repository layer marshals. That keeps the crash semantics
+// testable in isolation — internal/store/faultfs tears writes at every
+// byte boundary and the replayer must always land on a whole-record
+// prefix.
+package metalog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"sync"
+	"sync/atomic"
+
+	"versiondb/internal/store"
+)
+
+// Type tags a record's payload schema. The log treats it as opaque; the
+// repository layer assigns meanings (commit, layout swap, access delta,
+// job lifecycle, ...).
+type Type uint8
+
+// Record is one replayed log entry.
+type Record struct {
+	Seq  uint64
+	Type Type
+	Data []byte
+}
+
+// Framing constants. Each record is framed as
+//
+//	uint32 LE  payload length n
+//	uint32 LE  CRC-32C over the remaining header bytes + payload
+//	uint8      record type
+//	uint64 LE  sequence number
+//	n bytes    payload
+//
+// so a torn tail is detectable: a frame that runs past the device end or
+// fails its checksum marks the crash point, and everything before it is
+// intact.
+const (
+	headerSize = 4 + 4 + 1 + 8
+	// MaxRecordSize bounds one record's payload so a corrupt length prefix
+	// can never drive an unbounded allocation in the replayer.
+	MaxRecordSize = 1 << 26
+)
+
+// castagnoli is the CRC-32C table (the checksum iSCSI and ext4 use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrRecordTooLarge marks an Append whose payload exceeds MaxRecordSize.
+var ErrRecordTooLarge = errors.New("metalog: record exceeds MaxRecordSize")
+
+// snapshotDoc is the persisted compaction snapshot: the full state as of
+// BaseSeq, atomically written through the MetaStore.
+type snapshotDoc struct {
+	BaseSeq uint64          `json:"base_seq"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// Recovery is what Open found on the durable medium.
+type Recovery struct {
+	// Snapshot is the last compaction's state blob, nil when the log has
+	// never been compacted.
+	Snapshot []byte
+	// Records are the tail records newer than the snapshot, in append
+	// order.
+	Records []Record
+	// Torn reports that the device ended in a torn or corrupt record which
+	// recovery truncated away — the signature of a crash mid-append.
+	Torn bool
+}
+
+// Stats is a point-in-time snapshot of the log's counters, surfaced
+// through GET /stats.
+type Stats struct {
+	// Records is the number of records appended since the last compaction
+	// (replayed tail records included).
+	Records int64
+	// Bytes is the device size in bytes.
+	Bytes int64
+	// Appends counts records appended by this process.
+	Appends int64
+	// Compactions counts snapshot compactions by this process.
+	Compactions int64
+	// Replayed counts tail records replayed at Open.
+	Replayed int64
+	// TornTails counts torn/corrupt tails truncated at Open.
+	TornTails int64
+}
+
+// Log is an append-only, checksummed record log over a store.LogDevice
+// with snapshot compaction through a store.MetaStore. All methods are safe
+// for concurrent use; appends serialize on the log's own mutex and perform
+// exactly one device write each.
+type Log struct {
+	mu   sync.Mutex
+	dev  store.LogDevice
+	ms   store.MetaStore
+	snap string // snapshot document name
+
+	seq     uint64 // last assigned sequence number
+	size    int64  // current device size (logical end)
+	records int64  // records since last compaction
+
+	appends     atomic.Int64
+	compactions atomic.Int64
+	replayed    atomic.Int64
+	tornTails   atomic.Int64
+}
+
+// Open loads the named log: snapshot (if any) from the MetaStore, then a
+// scan of the device's tail. A torn final record — the signature of a
+// power cut mid-append — is truncated away and reported via
+// Recovery.Torn; it is not an error. The returned log is positioned to
+// append.
+func Open(ms store.MetaStore, ls store.LogStore, name string) (*Log, *Recovery, error) {
+	dev, err := ls.OpenLog(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dev: dev, ms: ms, snap: name + "_snapshot.json"}
+	rec := &Recovery{}
+
+	var baseSeq uint64
+	if data, err := ms.GetMeta(l.snap); err == nil {
+		var doc snapshotDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, nil, fmt.Errorf("metalog: snapshot %s: %w", l.snap, err)
+		}
+		baseSeq = doc.BaseSeq
+		rec.Snapshot = doc.Data
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("metalog: snapshot %s: %w", l.snap, err)
+	}
+
+	raw, err := dev.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	records, validEnd, torn := Scan(raw, baseSeq)
+	if torn {
+		if err := dev.Truncate(validEnd); err != nil {
+			return nil, nil, fmt.Errorf("metalog: truncating torn tail: %w", err)
+		}
+		l.tornTails.Add(1)
+		rec.Torn = true
+	}
+	rec.Records = records
+	l.size = validEnd
+	l.seq = baseSeq
+	l.records = int64(len(records))
+	l.replayed.Store(int64(len(records)))
+	for _, r := range records {
+		if r.Seq > l.seq {
+			l.seq = r.Seq
+		}
+	}
+	return l, rec, nil
+}
+
+// Scan decodes every whole record in raw, skipping records with sequence
+// numbers at or below baseSeq (covered by a snapshot — the leftovers of a
+// compaction that crashed between its snapshot write and its device
+// reset). It returns the surviving records, the byte offset of the last
+// whole record's end, and whether the bytes beyond that offset form a torn
+// or corrupt tail. Scan never panics and never allocates beyond the input
+// size, whatever the input — the property FuzzMetaLogReplay pins.
+func Scan(raw []byte, baseSeq uint64) (records []Record, validEnd int64, torn bool) {
+	off := 0
+	lastSeq := baseSeq
+	for {
+		if len(raw)-off == 0 {
+			return records, int64(off), false
+		}
+		if len(raw)-off < headerSize {
+			return records, int64(off), true
+		}
+		n := binary.LittleEndian.Uint32(raw[off:])
+		if n > MaxRecordSize || int(n) > len(raw)-off-headerSize {
+			// An absurd or overrunning length prefix: either a torn length
+			// write or garbage. Both stop the scan at the last whole record.
+			return records, int64(off), true
+		}
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		body := raw[off+8 : off+headerSize+int(n)]
+		if crc32.Checksum(body, castagnoli) != sum {
+			return records, int64(off), true
+		}
+		seq := binary.LittleEndian.Uint64(body[1:9])
+		end := off + headerSize + int(n)
+		if seq <= baseSeq {
+			// Pre-snapshot leftover: skip its content but keep scanning —
+			// and keep the bytes, they are truncated only at compaction.
+			off = end
+			continue
+		}
+		if seq <= lastSeq {
+			// Sequence regression mid-log: not something a crash can
+			// produce (appends are ordered). Treat the rest as untrusted.
+			return records, int64(off), true
+		}
+		lastSeq = seq
+		records = append(records, Record{
+			Seq:  seq,
+			Type: Type(body[0]),
+			Data: append([]byte(nil), body[9:]...),
+		})
+		off = end
+	}
+}
+
+// frame renders one record into its wire form.
+func frame(seq uint64, t Type, data []byte) []byte {
+	buf := make([]byte, headerSize+len(data))
+	binary.LittleEndian.PutUint32(buf, uint32(len(data)))
+	buf[8] = byte(t)
+	binary.LittleEndian.PutUint64(buf[9:], seq)
+	copy(buf[headerSize:], data)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[8:], castagnoli))
+	return buf
+}
+
+// Append assigns the next sequence number and durably appends one record.
+// The append is atomic at record granularity: either the whole frame lands
+// (and replay sees the record) or a crash tears it (and replay truncates
+// it away) — state changes framed as single records are therefore
+// all-or-nothing across crashes.
+func (l *Log) Append(t Type, data []byte) error {
+	if len(data) > MaxRecordSize {
+		return fmt.Errorf("%w (%d bytes)", ErrRecordTooLarge, len(data))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buf := frame(l.seq+1, t, data)
+	if err := l.dev.Append(buf); err != nil {
+		return fmt.Errorf("metalog: append: %w", err)
+	}
+	l.seq++
+	l.size += int64(len(buf))
+	l.records++
+	l.appends.Add(1)
+	return nil
+}
+
+// Compact persists state as the new snapshot covering every record
+// appended so far, then resets the device. The snapshot write is atomic
+// (MetaStore contract); a crash after it but before the reset leaves
+// stale records that replay skips by sequence, so compaction is
+// crash-safe at every intermediate point.
+func (l *Log) Compact(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	doc, err := json.Marshal(snapshotDoc{BaseSeq: l.seq, Data: state})
+	if err != nil {
+		return fmt.Errorf("metalog: compact: %w", err)
+	}
+	if err := l.ms.PutMeta(l.snap, doc); err != nil {
+		return fmt.Errorf("metalog: compact: %w", err)
+	}
+	if err := l.dev.Truncate(0); err != nil {
+		return fmt.Errorf("metalog: compact: %w", err)
+	}
+	l.size = 0
+	l.records = 0
+	l.compactions.Add(1)
+	return nil
+}
+
+// TailRecords returns the number of records appended since the last
+// compaction — the repository's compaction trigger input.
+func (l *Log) TailRecords() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	records, size := l.records, l.size
+	l.mu.Unlock()
+	return Stats{
+		Records:     records,
+		Bytes:       size,
+		Appends:     l.appends.Load(),
+		Compactions: l.compactions.Load(),
+		Replayed:    l.replayed.Load(),
+		TornTails:   l.tornTails.Load(),
+	}
+}
+
+// Close releases the underlying device. Appended records remain durable.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.Close()
+}

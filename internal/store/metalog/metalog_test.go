@@ -1,0 +1,408 @@
+package metalog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"versiondb/internal/store"
+)
+
+// appendN appends n records with deterministic payloads and returns them.
+func appendN(t *testing.T, l *Log, start, n int) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for i := start; i < start+n; i++ {
+		p := []byte(fmt.Sprintf("payload-%03d", i))
+		if err := l.Append(Type(i%5), p); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	ms := store.NewMemStore()
+	l, rec, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.Torn {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	want := appendN(t, l, 0, 20)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rec2.Torn {
+		t.Fatal("clean shutdown reported torn tail")
+	}
+	if len(rec2.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(rec2.Records), len(want))
+	}
+	for i, r := range rec2.Records {
+		if !bytes.Equal(r.Data, want[i]) {
+			t.Fatalf("record %d payload = %q, want %q", i, r.Data, want[i])
+		}
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq = %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Type != Type(i%5) {
+			t.Fatalf("record %d type = %d, want %d", i, r.Type, i%5)
+		}
+	}
+	// Appends continue the sequence after replay.
+	if err := l2.Append(0, []byte("after")); err != nil {
+		t.Fatalf("append after replay: %v", err)
+	}
+}
+
+// TestTornTailEveryByte cuts the device at every byte boundary and checks
+// the recovery invariant: replay yields exactly the records whose frames
+// land entirely before the cut, reports Torn for any mid-frame cut, and
+// repairs the device so a subsequent clean reopen sees the same state.
+func TestTornTailEveryByte(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendN(t, l, 0, 5)
+	dev, err := ms.OpenLog("repo")
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	full, err := dev.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	l.Close()
+
+	// Whole-record boundaries within the full image.
+	boundaries := map[int]int{0: 0} // byte offset -> records wholly before it
+	recs, _, _ := Scan(full, 0)
+	off := 0
+	for i, r := range recs {
+		off += headerSize + len(r.Data)
+		boundaries[off] = i + 1
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		ms2 := store.NewMemStore()
+		dev2, _ := ms2.OpenLog("repo")
+		if err := dev2.Append(full[:cut]); err != nil {
+			t.Fatalf("seeding cut %d: %v", cut, err)
+		}
+		l2, rec, err := Open(ms2, ms2, "repo")
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		wantRecs, atBoundary := boundaries[cut]
+		if !atBoundary {
+			// Mid-frame cut: expect the largest boundary below the cut.
+			for b, n := range boundaries {
+				if b < cut && n > wantRecs {
+					wantRecs = n
+				}
+			}
+			if !rec.Torn {
+				t.Fatalf("cut %d: mid-frame cut not reported torn", cut)
+			}
+		} else if rec.Torn {
+			t.Fatalf("cut %d: whole-record boundary reported torn", cut)
+		}
+		if len(rec.Records) != wantRecs {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(rec.Records), wantRecs)
+		}
+		l2.Close()
+
+		// The torn tail must be gone from the device: a second open is clean.
+		l3, rec3, err := Open(ms2, ms2, "repo")
+		if err != nil {
+			t.Fatalf("cut %d: reopen after repair: %v", cut, err)
+		}
+		if rec3.Torn {
+			t.Fatalf("cut %d: tail still torn after repair", cut)
+		}
+		if len(rec3.Records) != wantRecs {
+			t.Fatalf("cut %d: post-repair replay %d records, want %d", cut, len(rec3.Records), wantRecs)
+		}
+		l3.Close()
+	}
+}
+
+func TestCompactionAndTailReplay(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendN(t, l, 0, 10)
+	state := []byte(`{"versions":10}`)
+	if err := l.Compact(state); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n := l.TailRecords(); n != 0 {
+		t.Fatalf("TailRecords after compact = %d, want 0", n)
+	}
+	tail := appendN(t, l, 10, 3)
+	l.Close()
+
+	l2, rec, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if !bytes.Equal(rec.Snapshot, state) {
+		t.Fatalf("snapshot = %q, want %q", rec.Snapshot, state)
+	}
+	if len(rec.Records) != len(tail) {
+		t.Fatalf("replayed %d tail records, want %d", len(rec.Records), len(tail))
+	}
+	for i, r := range rec.Records {
+		if !bytes.Equal(r.Data, tail[i]) {
+			t.Fatalf("tail record %d = %q, want %q", i, r.Data, tail[i])
+		}
+	}
+}
+
+// TestCompactionCrashWindow simulates a crash after the snapshot write but
+// before the device reset: the stale records must be skipped by sequence,
+// not replayed on top of the snapshot.
+func TestCompactionCrashWindow(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendN(t, l, 0, 6)
+	tail := appendN(t, l, 6, 2)
+	l.Close()
+
+	// Write the snapshot doc covering the first six records by hand — the
+	// exact on-disk state Compact leaves if the process dies before
+	// Truncate(0).
+	doc, _ := json.Marshal(snapshotDoc{BaseSeq: 6, Data: []byte(`{"versions":6}`)})
+	if err := ms.PutMeta("repo_snapshot.json", doc); err != nil {
+		t.Fatalf("PutMeta: %v", err)
+	}
+
+	l2, rec, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rec.Torn {
+		t.Fatal("crash-window reopen reported torn tail")
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("replayed %d records, want 2 (stale ones skipped)", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if !bytes.Equal(r.Data, tail[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r.Data, tail[i])
+		}
+	}
+	// New appends must not reuse sequence numbers the snapshot covers.
+	if err := l2.Append(0, []byte("next")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	dev, _ := ms.OpenLog("repo")
+	raw, _ := dev.ReadAll()
+	recs, _, torn := Scan(raw, 6)
+	if torn {
+		t.Fatal("appended log torn")
+	}
+	if got := recs[len(recs)-1].Seq; got != 9 {
+		t.Fatalf("new append seq = %d, want 9", got)
+	}
+}
+
+func TestCorruptMiddleStopsReplay(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendN(t, l, 0, 4)
+	l.Close()
+
+	dev, _ := ms.OpenLog("repo")
+	raw, _ := dev.ReadAll()
+	// Flip a payload byte inside the second record.
+	firstEnd := headerSize + len("payload-000")
+	raw[firstEnd+headerSize+2] ^= 0xFF
+	recs, validEnd, torn := Scan(raw, 0)
+	if !torn {
+		t.Fatal("mid-log corruption not reported")
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past corruption, want 1", len(recs))
+	}
+	if validEnd != int64(firstEnd) {
+		t.Fatalf("validEnd = %d, want %d", validEnd, firstEnd)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	big := make([]byte, MaxRecordSize+1)
+	if err := l.Append(0, big); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+	if n := l.TailRecords(); n != 0 {
+		t.Fatalf("failed append counted: TailRecords = %d", n)
+	}
+}
+
+func TestScanRejectsSequenceRegression(t *testing.T) {
+	var raw []byte
+	raw = append(raw, frame(2, 1, []byte("a"))...)
+	raw = append(raw, frame(1, 1, []byte("b"))...) // regression: 1 after 2
+	recs, _, torn := Scan(raw, 0)
+	if !torn {
+		t.Fatal("sequence regression not flagged")
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendN(t, l, 0, 7)
+	st := l.Stats()
+	if st.Appends != 7 || st.Records != 7 {
+		t.Fatalf("stats after appends = %+v", st)
+	}
+	if st.Bytes == 0 {
+		t.Fatal("stats bytes = 0 after appends")
+	}
+	if err := l.Compact([]byte(`{}`)); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st = l.Stats()
+	if st.Compactions != 1 || st.Records != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after compact = %+v", st)
+	}
+	l.Close()
+
+	// Tear the tail and reopen: torn-tail and replay counters move.
+	appendTorn := func() {
+		dev, _ := ms.OpenLog("repo")
+		_ = dev.Append([]byte{9, 9, 9})
+	}
+	l2, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	appendN(t, l2, 0, 2)
+	l2.Close()
+	appendTorn()
+	l3, rec, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	defer l3.Close()
+	if !rec.Torn {
+		t.Fatal("torn tail not detected")
+	}
+	st = l3.Stats()
+	if st.TornTails != 1 || st.Replayed != 2 {
+		t.Fatalf("stats after torn reopen = %+v", st)
+	}
+}
+
+// FuzzMetaLogRoundTrip frames arbitrary payloads and checks the scanner
+// returns them byte-identically, with no torn-tail report on a clean image.
+func FuzzMetaLogRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), []byte("world"), uint8(3))
+	f.Add([]byte{}, []byte{0, 0, 0, 0}, uint8(255))
+	f.Add(bytes.Repeat([]byte{0xAA}, 1024), []byte("x"), uint8(0))
+	f.Fuzz(func(t *testing.T, p1, p2 []byte, typ uint8) {
+		var raw []byte
+		raw = append(raw, frame(1, Type(typ), p1)...)
+		raw = append(raw, frame(2, Type(typ^0xFF), p2)...)
+		recs, validEnd, torn := Scan(raw, 0)
+		if torn {
+			t.Fatalf("clean image reported torn (payload lens %d, %d)", len(p1), len(p2))
+		}
+		if validEnd != int64(len(raw)) {
+			t.Fatalf("validEnd = %d, want %d", validEnd, len(raw))
+		}
+		if len(recs) != 2 {
+			t.Fatalf("scanned %d records, want 2", len(recs))
+		}
+		if !bytes.Equal(recs[0].Data, p1) || !bytes.Equal(recs[1].Data, p2) {
+			t.Fatal("payload mismatch after round trip")
+		}
+		if recs[0].Type != Type(typ) || recs[1].Type != Type(typ^0xFF) {
+			t.Fatal("type mismatch after round trip")
+		}
+	})
+}
+
+// FuzzMetaLogReplay feeds the scanner arbitrary bytes: it must never
+// panic, never report a valid end past the input, keep allocations bounded
+// by the input (no length-prefix-driven blowups), and — the recovery
+// invariant — rescanning the valid prefix must be clean and identical.
+func FuzzMetaLogReplay(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, uint64(0))
+	clean := append(frame(1, 2, []byte("a")), frame(2, 3, []byte("bb"))...)
+	f.Add(clean, uint64(0))
+	f.Add(clean[:len(clean)-1], uint64(0))
+	f.Add(clean, uint64(1))
+	// A length prefix claiming MaxRecordSize with no body behind it.
+	huge := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(huge, MaxRecordSize)
+	f.Add(huge, uint64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, baseSeq uint64) {
+		recs, validEnd, torn := Scan(raw, baseSeq)
+		if validEnd < 0 || validEnd > int64(len(raw)) {
+			t.Fatalf("validEnd %d out of range [0,%d]", validEnd, len(raw))
+		}
+		var total int
+		for _, r := range recs {
+			if r.Seq <= baseSeq {
+				t.Fatalf("record seq %d ≤ baseSeq %d leaked through", r.Seq, baseSeq)
+			}
+			total += len(r.Data)
+		}
+		if total > len(raw) {
+			t.Fatalf("replayed payloads (%d bytes) exceed input (%d bytes)", total, len(raw))
+		}
+		if !torn && validEnd != int64(len(raw)) {
+			t.Fatalf("not torn but validEnd %d != len %d", validEnd, len(raw))
+		}
+		// Torn tail → clean stop: the valid prefix rescans identically.
+		recs2, end2, torn2 := Scan(raw[:validEnd], baseSeq)
+		if torn2 || end2 != validEnd || len(recs2) != len(recs) {
+			t.Fatalf("rescan of valid prefix: torn=%v end=%d n=%d, want false/%d/%d",
+				torn2, end2, len(recs2), validEnd, len(recs))
+		}
+		for i := range recs {
+			if recs[i].Seq != recs2[i].Seq || recs[i].Type != recs2[i].Type || !bytes.Equal(recs[i].Data, recs2[i].Data) {
+				t.Fatalf("rescan record %d differs", i)
+			}
+		}
+	})
+}

@@ -286,6 +286,72 @@ func (s *ObjectStore) GetMeta(name string) ([]byte, error) {
 	return data, nil
 }
 
+// OpenLog opens (creating if needed) the named append-only log as a file
+// under the store directory (<name>.wal). Appends are written and fsynced
+// before returning, so a record the log reports durable survives a power
+// cut; what a crash can still leave behind is a torn tail, which the
+// record framing above this device detects and Truncate repairs.
+func (s *ObjectStore) OpenLog(name string) (LogDevice, error) {
+	if name == "" || filepath.Base(name) != name {
+		return nil, fmt.Errorf("store: log name %q must be a bare filename", name)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, name+".wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open log %s: %w", name, err)
+	}
+	return &fileLogDevice{f: f}, nil
+}
+
+// fileLogDevice is the filesystem LogDevice: one flat file, appends at the
+// end, fsync per append. The mutex serializes appends against truncation;
+// reads happen only at open/recovery time.
+type fileLogDevice struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (d *fileLogDevice) ReadAll() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("store: log read: %w", err)
+	}
+	data, err := io.ReadAll(d.f)
+	if err != nil {
+		return nil, fmt.Errorf("store: log read: %w", err)
+	}
+	return data, nil
+}
+
+func (d *fileLogDevice) Append(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: log append: %w", err)
+	}
+	if _, err := d.f.Write(p); err != nil {
+		return fmt.Errorf("store: log append: %w", err)
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("store: log append: %w", err)
+	}
+	return nil
+}
+
+func (d *fileLogDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Truncate(size); err != nil {
+		return fmt.Errorf("store: log truncate: %w", err)
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("store: log truncate: %w", err)
+	}
+	return nil
+}
+
+func (d *fileLogDevice) Close() error { return d.f.Close() }
+
 // TotalBytes sums the sizes of all stored blobs, loose and packed (pack
 // framing overhead included, as on disk).
 func (s *ObjectStore) TotalBytes() (int64, error) {

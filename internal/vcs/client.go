@@ -173,6 +173,15 @@ func (c *Client) CancelJob(id string) (*JobInfo, error) {
 	return &resp, nil
 }
 
+// GC asks the server to collect orphaned blobs.
+func (c *Client) GC() (*GCResponse, error) {
+	var resp GCResponse
+	if err := c.post("/gc", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches repository statistics.
 func (c *Client) Stats() (*StatsResponse, error) {
 	var resp StatsResponse

@@ -176,6 +176,28 @@ type StatsResponse struct {
 	// counts, and the last auto-optimize outcome. Absent when the server
 	// runs without -autotune.
 	Autotune *autotune.Status `json:"autotune,omitempty"`
+	// Metadata-log counters (zero when the backend has no log and the
+	// repository persists whole documents instead). LogRecords/LogBytes
+	// are the live tail after the latest compaction; LogReplayed and
+	// LogTornTails describe what startup recovery found.
+	LogRecords     int64 `json:"log_records,omitempty"`
+	LogBytes       int64 `json:"log_bytes,omitempty"`
+	LogAppends     int64 `json:"log_appends,omitempty"`
+	LogCompactions int64 `json:"log_compactions,omitempty"`
+	LogReplayed    int64 `json:"log_replayed,omitempty"`
+	LogTornTails   int64 `json:"log_torn_tails,omitempty"`
+	// GC counters: sweeps run and orphan blobs collected since startup.
+	GCRuns      int64 `json:"gc_runs,omitempty"`
+	GCCollected int64 `json:"gc_collected,omitempty"`
+}
+
+// GCResponse reports one mark-and-sweep pass over the blob store:
+// Scanned blobs examined, Live blobs referenced by the current layout,
+// and Collected orphans deleted.
+type GCResponse struct {
+	Scanned   int `json:"scanned"`
+	Live      int `json:"live"`
+	Collected int `json:"collected"`
 }
 
 // ErrorResponse is the uniform error body.

@@ -71,6 +71,11 @@ func NewServer(r *repo.Repo, opts ...ServerOption) *Server {
 		o(&cfg)
 	}
 	s := &Server{repo: r, jobs: jobs.NewManager(cfg.jobWorkers)}
+	// The repository's metadata log doubles as the job journal, making
+	// queued and running jobs durable across restarts; recovery must run
+	// before autotune so adopted ids are claimed first.
+	s.jobs.SetJournal(r)
+	s.recoverJobs()
 	if cfg.autotune != nil {
 		s.tuner = autotune.New(r, s.jobs, *cfg.autotune)
 		ctx, cancel := context.WithCancel(context.Background())
@@ -78,6 +83,45 @@ func NewServer(r *repo.Repo, opts ...ServerOption) *Server {
 		go s.tuner.Run(ctx)
 	}
 	return s
+}
+
+// recoverJobs re-establishes the durable jobs a previous process left
+// behind. Still-queued jobs are resubmitted under their original ids so
+// clients polling GET /jobs/{id} keep working across the restart. Jobs
+// that were mid-run when the process died may have partially executed,
+// so the interrupted attempt is recorded as a failed tombstone under its
+// original id and the work is retried as a fresh submission — both
+// outcomes stay visible. Specs that no longer parse (e.g. a solver was
+// removed) are dropped rather than wedging startup.
+func (s *Server) recoverJobs() {
+	// Two passes: every original id is claimed (resubmitted or adopted as
+	// a tombstone) before any fresh retry is minted, so a retry's
+	// manager-assigned id can never collide with a recovered job later in
+	// the journal.
+	type retry struct {
+		spec string
+		opts repo.OptimizeOptions
+	}
+	var retries []retry
+	for _, rj := range s.repo.RecoveredJobs() {
+		var req OptimizeRequest
+		if err := json.Unmarshal([]byte(rj.Spec), &req); err != nil {
+			continue
+		}
+		opts, err := optimizeOptions(req)
+		if err != nil {
+			continue
+		}
+		if rj.WasRunning {
+			_, _ = s.jobs.AdoptFailed(rj.ID, opts.Request, "interrupted by restart")
+			retries = append(retries, retry{spec: rj.Spec, opts: opts})
+			continue
+		}
+		_, _ = s.submitOptimize(rj.ID, rj.Spec, opts)
+	}
+	for _, rt := range retries {
+		_, _ = s.submitOptimize("", rt.spec, rt.opts)
+	}
 }
 
 // Autotune returns the server's policy engine, nil when auto-tuning is
@@ -103,6 +147,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /log", s.handleLog)
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /gc", s.handleGC)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
@@ -276,24 +321,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if boolParam(r, "async") {
-		// The holder outlives this request: the runner fills it when the
-		// optimize completes (possibly before Submit even returns), and
-		// jobInfo reads it when rendering the done job.
-		holder := new(atomic.Pointer[OptimizeResponse])
-		snap, err := s.jobs.Submit(opts.Request, func(ctx context.Context, progress func(string)) (*solve.Result, error) {
-			jobOpts := opts
-			jobOpts.Progress = progress
-			res, err := s.repo.Optimize(ctx, jobOpts)
-			if err == nil {
-				holder.Store(s.optimizeResponse(res))
-			}
-			return res, err
-		})
+		// The spec is the wire request itself, journaled with the job so a
+		// restarted server can rebuild and re-run it.
+		spec, err := json.Marshal(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("encode spec: %w", err))
+			return
+		}
+		snap, err := s.submitOptimize("", string(spec), opts)
 		if err != nil {
 			writeErr(w, statusFor(err), err)
 			return
 		}
-		s.results.Store(snap.ID, holder)
 		writeJSON(w, http.StatusAccepted, OptimizeAcceptedResponse{JobID: snap.ID})
 		return
 	}
@@ -303,6 +342,37 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, *s.optimizeResponse(res))
+}
+
+// submitOptimize queues a durable background optimize: a fresh
+// submission when id is empty, or a recovered queued job resubmitted
+// under its original id. The holder outlives the request that minted it:
+// the runner fills it when the optimize completes (possibly before the
+// submit call even returns), and jobInfo reads it when rendering the
+// done job.
+func (s *Server) submitOptimize(id, spec string, opts repo.OptimizeOptions) (jobs.Snapshot, error) {
+	holder := new(atomic.Pointer[OptimizeResponse])
+	run := func(ctx context.Context, progress func(string)) (*solve.Result, error) {
+		jobOpts := opts
+		jobOpts.Progress = progress
+		res, err := s.repo.Optimize(ctx, jobOpts)
+		if err == nil {
+			holder.Store(s.optimizeResponse(res))
+		}
+		return res, err
+	}
+	var snap jobs.Snapshot
+	var err error
+	if id == "" {
+		snap, err = s.jobs.SubmitSpec(spec, opts.Request, run)
+	} else {
+		snap, err = s.jobs.Resubmit(id, spec, opts.Request, run)
+	}
+	if err != nil {
+		return snap, err
+	}
+	s.results.Store(snap.ID, holder)
+	return snap, nil
 }
 
 // jobInfo renders a job snapshot onto the wire.
@@ -375,6 +445,18 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobInfo(snap))
 }
 
+// handleGC runs a mark-and-sweep pass over the blob store, deleting
+// blobs no layout entry references. Commits are blocked for the sweep's
+// duration (it holds the repository read lock); checkouts proceed.
+func (s *Server) handleGC(w http.ResponseWriter, _ *http.Request) {
+	res, err := s.repo.GC()
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GCResponse(res))
+}
+
 // hotListSize bounds the hot-version list GET /stats reports.
 const hotListSize = 10
 
@@ -397,6 +479,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Accesses:         st.Accesses,
 		WeightedPhi:      s.repo.WeightedPhi(),
 	}
+	resp.LogRecords = st.Log.Records
+	resp.LogBytes = st.Log.Bytes
+	resp.LogAppends = st.Log.Appends
+	resp.LogCompactions = st.Log.Compactions
+	resp.LogReplayed = st.Log.Replayed
+	resp.LogTornTails = st.Log.TornTails
+	resp.GCRuns = st.GCRuns
+	resp.GCCollected = st.GCCollected
 	resp.CacheHitRatio = store.CacheStats{Hits: st.CacheHits, Misses: st.CacheMisses}.HitRatio()
 	for _, h := range s.repo.HotVersions(hotListSize) {
 		resp.Hot = append(resp.Hot, HotVersion{ID: h.Version, Count: h.Count})

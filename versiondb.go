@@ -233,6 +233,12 @@ type Backend = store.Backend
 // shipped backends implement it.
 type MetaStore = store.MetaStore
 
+// LogStore marks a backend with append-only log support: a repository on
+// such a backend persists its metadata as an append-only record log with
+// snapshot compaction and crash-recovery replay instead of rewriting
+// whole documents. Both shipped backends implement it.
+type LogStore = store.LogStore
+
 // ObjectStore is the filesystem backend (loose objects + packfiles).
 type ObjectStore = store.ObjectStore
 
@@ -266,6 +272,11 @@ type Repo = repo.Repo
 // ErrOptimizeConflict is returned by Repo.Optimize when its layout swap
 // kept losing to concurrent commits and the bounded retries ran out.
 var ErrOptimizeConflict = repo.ErrOptimizeConflict
+
+// GCResult reports one Repo.GC mark-and-sweep pass over the blob store:
+// blobs scanned, blobs referenced by the current layout (or protected by
+// an in-flight optimize build), and orphans deleted.
+type GCResult = repo.GCResult
 
 // JobManager runs background optimizations with bounded concurrency; the
 // HTTP server uses one for POST /optimize?async=1 and the /jobs API.

@@ -16,14 +16,17 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"versiondb/internal/repo"
 	"versiondb/internal/store"
+	"versiondb/internal/store/remote"
 )
 
 // servingReport collects metrics from serving benchmarks for the
@@ -198,6 +201,130 @@ func BenchmarkByteBudgetServing(b *testing.B) {
 		"hit_ratio":      m.HitRatio(),
 		"resident_bytes": float64(m.BytesResident),
 		"evictions":      float64(m.Evictions),
+	})
+}
+
+// remoteChainRepo builds a bigChainRepo-style history on the chunked
+// remote tier: an in-process object server with optional fault knobs and
+// a repository whose backend is a remote client against it.
+func remoteChainRepo(b *testing.B, versions, rows int, opts remote.Options, tune func(*remote.Server)) (*repo.Repo, *remote.Store) {
+	b.Helper()
+	srv := remote.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = ts.Client()
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = time.Millisecond
+	}
+	client := remote.New(ts.URL, opts)
+	r, err := repo.InitBackend(client)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	lines := make([]string, rows)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("row-%06d,%016x,%016x", i, rng.Uint64(), rng.Uint64())
+	}
+	var buf bytes.Buffer
+	for v := 0; v < versions; v++ {
+		if v > 0 {
+			for k := 0; k < 4; k++ {
+				lines[rng.Intn(rows)] = fmt.Sprintf("edit-%04d-%d,%016x", v, k, rng.Uint64())
+			}
+		}
+		buf.Reset()
+		for _, l := range lines {
+			buf.WriteString(l)
+			buf.WriteByte('\n')
+		}
+		if _, err := r.Commit(repo.DefaultBranch, append([]byte(nil), buf.Bytes()...), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tune != nil {
+		tune(srv)
+	}
+	return r, client
+}
+
+// BenchmarkRemoteTieredCheckout measures the three regimes of the remote
+// tier on the same delta-chain checkout: every chunk paid over HTTP
+// (cold-remote), the near-tier chunk cache absorbing repeat reads
+// (near-tier-hit), and a periodically slow object server with hedged
+// reads racing the stragglers (hedged-slow-chunk). The recorded chunk,
+// hit and hedge counters feed BENCH_serving.json alongside the latency.
+func BenchmarkRemoteTieredCheckout(b *testing.B) {
+	const versions, rows = 8, 4000
+	checkoutAll := func(b *testing.B, r *repo.Repo) {
+		b.Helper()
+		for v := 0; v < versions; v++ {
+			if _, err := r.Checkout(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold-remote", func(b *testing.B) {
+		r, client := remoteChainRepo(b, versions, rows, remote.Options{
+			CacheBytes: -1, // no near tier: every chunk is an HTTP fetch
+			HedgeAfter: -1,
+		}, nil)
+		start := client.TierStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			checkoutAll(b, r)
+		}
+		b.StopTimer()
+		st := client.TierStats()
+		recordServing(b, map[string]float64{
+			"chunk_fetches/op": float64(st.ChunkFetches-start.ChunkFetches) / float64(b.N),
+			"fetched_bytes/op": float64(st.BytesFetched-start.BytesFetched) / float64(b.N),
+			"dedup_ratio":      st.DedupRatio(),
+		})
+	})
+	b.Run("near-tier-hit", func(b *testing.B) {
+		r, client := remoteChainRepo(b, versions, rows, remote.Options{
+			HedgeAfter: -1, // default 32 MiB cache holds the whole chain
+		}, nil)
+		checkoutAll(b, r) // warm the near tier
+		start := client.TierStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			checkoutAll(b, r)
+		}
+		b.StopTimer()
+		st := client.TierStats()
+		fetches := float64(st.ChunkFetches - start.ChunkFetches)
+		hits := float64(st.ChunkHits - start.ChunkHits)
+		recordServing(b, map[string]float64{
+			"chunk_fetches/op": fetches / float64(b.N),
+			"hit_ratio":        hits / (hits + fetches),
+		})
+		if fetches != 0 {
+			b.Fatalf("warm near tier still fetched %v chunks over HTTP", fetches)
+		}
+	})
+	b.Run("hedged-slow-chunk", func(b *testing.B) {
+		r, client := remoteChainRepo(b, versions, rows, remote.Options{
+			CacheBytes: -1,
+			HedgeAfter: 2 * time.Millisecond,
+		}, func(srv *remote.Server) {
+			srv.SetSlowEvery(5, 50*time.Millisecond) // every 5th GET stalls
+		})
+		start := client.TierStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			checkoutAll(b, r)
+		}
+		b.StopTimer()
+		st := client.TierStats()
+		recordServing(b, map[string]float64{
+			"chunk_fetches/op": float64(st.ChunkFetches-start.ChunkFetches) / float64(b.N),
+			"hedged/op":        float64(st.Hedged-start.Hedged) / float64(b.N),
+			"hedge_wins/op":    float64(st.HedgeWins-start.HedgeWins) / float64(b.N),
+		})
 	})
 }
 

@@ -53,6 +53,14 @@
 // than the whole budget bypass admission. -backend mem swaps the
 // filesystem store for a fresh in-memory one, which only lives for a
 // single invocation and is meant for smoke tests.
+//
+// -remote-url URL stores blobs in the remote tier instead: an S3-style
+// object server holding content-defined chunks, fronted by a byte-budget
+// chunk cache (-remote-cache-bytes, 0 = 32 MiB default, negative
+// disables) with hedged reads against slow chunk fetches (-hedge-after:
+// 0 = adaptive p95, negative disables). `vms stats` then shows the tier's
+// chunk, hedge and dedup counters; against an older server without them
+// the section is simply omitted.
 package main
 
 import (
@@ -70,6 +78,7 @@ import (
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
 	"versiondb/internal/store"
+	"versiondb/internal/store/remote"
 	"versiondb/internal/vcs"
 )
 
@@ -87,6 +96,9 @@ func run(args []string) error {
 	backend := global.String("backend", "fs", "local storage backend: fs or mem (mem is per-invocation, for smoke tests)")
 	cache := global.Int("cache", 0, "checkout LRU capacity in versions (0 disables)")
 	cacheBytes := global.Int64("cache-bytes", 0, "checkout LRU budget in payload bytes (0 disables; wins over -cache)")
+	remoteURL := global.String("remote-url", "", "store blobs in the remote tier: S3-style object server URL (overrides -backend)")
+	hedgeAfter := global.Duration("hedge-after", 0, "remote tier: hedge a slow chunk fetch after this delay (0 = adaptive p95, negative disables)")
+	remoteCacheBytes := global.Int64("remote-cache-bytes", 0, "remote tier: chunk cache budget in bytes (0 = 32 MiB default, negative disables)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -102,25 +114,38 @@ func run(args []string) error {
 	if *server != "" {
 		return runRemote(vcs.NewClient(*server), cmd, rest)
 	}
-	if *backend != "fs" && *backend != "mem" {
-		return fmt.Errorf("unknown backend %q (want fs or mem)", *backend)
+	if *remoteURL != "" {
+		*backend = "remote"
+	} else if *backend != "fs" && *backend != "mem" {
+		return fmt.Errorf("unknown backend %q (want fs or mem, or -remote-url)", *backend)
 	}
 	if *dir == "" && *backend == "fs" {
 		return fmt.Errorf("one of -dir or -server is required")
 	}
-	return runLocal(*dir, *backend, *cache, *cacheBytes, cmd, rest)
+	tier := remote.Options{CacheBytes: *remoteCacheBytes, HedgeAfter: *hedgeAfter}
+	return runLocal(*dir, *backend, *remoteURL, tier, *cache, *cacheBytes, cmd, rest)
 }
 
-func runLocal(dir, backend string, cache int, cacheBytes int64, cmd string, args []string) error {
+func runLocal(dir, backend, remoteURL string, tier remote.Options, cache int, cacheBytes int64, cmd string, args []string) error {
 	openRepo := func() (*repo.Repo, error) {
-		if backend == "mem" {
+		switch backend {
+		case "mem":
 			return repo.InitBackend(store.NewMemStore())
+		case "remote":
+			return repo.OpenBackend(remote.New(remoteURL, tier))
 		}
 		return repo.Open(dir)
 	}
 	if cmd == "init" {
-		if backend == "mem" {
+		switch backend {
+		case "mem":
 			fmt.Println("initialized in-memory repository (contents die with this process)")
+			return nil
+		case "remote":
+			if _, err := repo.InitBackend(remote.New(remoteURL, tier)); err != nil {
+				return err
+			}
+			fmt.Println("initialized remote-tier repository at", remoteURL)
 			return nil
 		}
 		if _, err := repo.Init(dir); err != nil {
@@ -226,6 +251,12 @@ func runLocal(dir, backend string, cache int, cacheBytes int64, cmd string, args
 		}
 		if st.GCRuns > 0 {
 			fmt.Printf("gc:             %d runs, %d blobs collected\n", st.GCRuns, st.GCCollected)
+		}
+		if rs := st.Remote; rs != nil {
+			fmt.Printf("remote tier:    ×%.1f retrieval cost, %d chunks stored, %d deduped (dedup ratio %.3f)\n",
+				st.RetrievalFactor, rs.ChunksStored, rs.ChunksDeduped, rs.DedupRatio())
+			fmt.Printf("                %d fetches, %d near hits (hit ratio %.3f), hedged %d (%d wins), %d retries\n",
+				rs.ChunkFetches, rs.ChunkHits, rs.ChunkHitRatio(), rs.Hedged, rs.HedgeWins, rs.Retries)
 		}
 		if hot := r.HotVersions(5); len(hot) > 0 {
 			fmt.Printf("hot versions:  ")
@@ -355,6 +386,14 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 		}
 		if st.GCRuns > 0 {
 			fmt.Printf("gc: runs=%d collected=%d\n", st.GCRuns, st.GCCollected)
+		}
+		// Older servers omit the remote-tier fields entirely; the nil
+		// section just doesn't print — never an error.
+		if rs := st.Remote; rs != nil {
+			fmt.Printf("remote: factor=%.1f chunkFetches=%d chunkHits=%d hitRatio=%.3f hedged=%d hedgeWins=%d retries=%d\n",
+				st.RetrievalFactor, rs.ChunkFetches, rs.ChunkHits, rs.ChunkHitRatio, rs.Hedged, rs.HedgeWins, rs.Retries)
+			fmt.Printf("remote: chunksStored=%d chunksDeduped=%d bytesStored=%d bytesDeduped=%d dedupRatio=%.3f bytesFetched=%d\n",
+				rs.ChunksStored, rs.ChunksDeduped, rs.BytesStored, rs.BytesDeduped, rs.DedupRatio, rs.BytesFetched)
 		}
 		if a := st.Autotune; a != nil {
 			fmt.Printf("autotune: solver=%s jobs=%d debounced=%d commits=%d drift=%.3f inflight=%v\n",

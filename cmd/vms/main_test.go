@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -8,6 +10,7 @@ import (
 
 	"versiondb/internal/repo"
 	"versiondb/internal/solve"
+	"versiondb/internal/store/remote"
 	"versiondb/internal/vcs"
 )
 
@@ -207,5 +210,60 @@ func TestCLIAsyncOptimizeAndJobs(t *testing.T) {
 	}
 	if err := run([]string{"-dir", dir, "jobs"}); err == nil {
 		t.Errorf("local jobs accepted")
+	}
+}
+
+// TestCLIStatsOldServer: `vms stats` against a server that predates the
+// remote-tier stats fields must print the classic sections and exit 0 —
+// the remote section is simply omitted, never an error.
+func TestCLIStatsOldServer(t *testing.T) {
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/stats" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"versions":3,"branches":1,"materialized":2,"stored_bytes":42,`+
+			`"logical_bytes":99,"max_chain_hops":2,"cache_hits":1,"cache_misses":1,`+
+			`"cache_hit_ratio":0.5,"cache_evictions":0,"cache_entries":1,"cache_bytes":10,`+
+			`"blob_reads":4,"accesses":6,"weighted_phi":12.5}`)
+	}))
+	defer old.Close()
+	if err := run([]string{"-server", old.URL, "stats"}); err != nil {
+		t.Fatalf("vms stats against old server: %v", err)
+	}
+}
+
+// TestCLIRemoteTierWorkflow drives the tiered-remote backend end to end
+// through the CLI: init against an object server, commit, checkout, and a
+// stats call that surfaces the tier counters.
+func TestCLIRemoteTierWorkflow(t *testing.T) {
+	objSrv := remote.NewServer()
+	objTS := httptest.NewServer(objSrv.Handler())
+	defer objTS.Close()
+	work := t.TempDir()
+	f1 := writeCSV(t, work, "v1.csv", "p,q\n7,7\n")
+	f2 := writeCSV(t, work, "v2.csv", "p,q\n7,7\n8,8\n")
+	out := filepath.Join(work, "back.csv")
+
+	steps := [][]string{
+		{"-remote-url", objTS.URL, "init"},
+		{"-remote-url", objTS.URL, "commit", "-file", f1, "-m", "first"},
+		{"-remote-url", objTS.URL, "-hedge-after", "-1ns", "commit", "-file", f2, "-m", "second"},
+		{"-remote-url", objTS.URL, "-remote-cache-bytes", "-1", "checkout", "-v", "1", "-out", out},
+		{"-remote-url", objTS.URL, "stats"},
+		{"-remote-url", objTS.URL, "log"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("vms %v: %v", args, err)
+		}
+	}
+	got, err := os.ReadFile(out)
+	if err != nil || string(got) != "p,q\n7,7\n8,8\n" {
+		t.Errorf("remote-tier checkout produced %q, %v", got, err)
+	}
+	if objSrv.NumObjects() == 0 {
+		t.Errorf("object server holds no objects after commits")
 	}
 }

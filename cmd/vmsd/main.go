@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem]
+//	vmsd -dir /path/to/repo [-addr :7420] [-init] [-backend fs|mem|remote]
+//	     [-remote-url URL] [-hedge-after D] [-remote-cache-bytes B]
 //	     [-cache N] [-cache-bytes B] [-jobs N]
 //	     [-autotune] [-autotune-interval D] [-autotune-commits N]
 //	     [-autotune-drift F] [-autotune-solver S]
@@ -11,7 +12,13 @@
 // The -backend flag selects the physical store: "fs" (default) persists
 // loose objects and packfiles under -dir; "mem" serves a fresh
 // concurrency-safe in-memory repository (no -dir needed, contents die with
-// the process — useful for caching tiers and load tests). -cache bounds
+// the process — useful for caching tiers and load tests); "remote" (implied
+// by -remote-url) stores blobs as content-defined chunks on an S3-style
+// object server, fronted by a byte-budget chunk cache (-remote-cache-bytes,
+// 0 = 32 MiB default, negative disables) with hedged reads against slow
+// chunk fetches (-hedge-after: 0 = adaptive p95, negative disables). GET
+// /stats then carries the tier's chunk, hedge and dedup counters and the
+// retrieval-cost factor the solvers price recreation at. -cache bounds
 // the LRU of materialized versions that lets hot checkouts skip
 // delta-chain replay, counted in versions; -cache-bytes bounds it in
 // payload bytes instead (a hard memory envelope — payloads larger than
@@ -41,6 +48,7 @@ import (
 	"versiondb/internal/autotune"
 	"versiondb/internal/repo"
 	"versiondb/internal/store"
+	"versiondb/internal/store/remote"
 	"versiondb/internal/vcs"
 )
 
@@ -48,7 +56,10 @@ func main() {
 	dir := flag.String("dir", "", "repository directory (fs backend)")
 	addr := flag.String("addr", ":7420", "listen address")
 	doInit := flag.Bool("init", false, "initialize a fresh repository at -dir")
-	backend := flag.String("backend", "fs", "storage backend: fs or mem")
+	backend := flag.String("backend", "fs", "storage backend: fs, mem, or remote")
+	remoteURL := flag.String("remote-url", "", "remote backend: S3-style object server URL (implies -backend remote)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "remote backend: hedge a slow chunk fetch after this delay (0 = adaptive p95, negative disables)")
+	remoteCacheBytes := flag.Int64("remote-cache-bytes", 0, "remote backend: chunk cache budget in bytes (0 = 32 MiB default, negative disables)")
 	cache := flag.Int("cache", 64, "checkout LRU capacity in versions (0 disables)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "checkout LRU budget in payload bytes (0 disables; wins over -cache)")
 	jobWorkers := flag.Int("jobs", 0, "max concurrent background optimize jobs (0 = default)")
@@ -62,6 +73,9 @@ func main() {
 		r   *repo.Repo
 		err error
 	)
+	if *remoteURL != "" {
+		*backend = "remote"
+	}
 	switch *backend {
 	case "fs":
 		if *dir == "" {
@@ -74,8 +88,21 @@ func main() {
 		}
 	case "mem":
 		r, err = repo.InitBackend(store.NewMemStore())
+	case "remote":
+		if *remoteURL == "" {
+			log.Fatal("vmsd: -remote-url is required with -backend remote")
+		}
+		client := remote.New(*remoteURL, remote.Options{
+			CacheBytes: *remoteCacheBytes,
+			HedgeAfter: *hedgeAfter,
+		})
+		if *doInit {
+			r, err = repo.InitBackend(client)
+		} else {
+			r, err = repo.OpenBackend(client)
+		}
 	default:
-		log.Fatalf("vmsd: unknown backend %q (want fs or mem)", *backend)
+		log.Fatalf("vmsd: unknown backend %q (want fs, mem, or remote)", *backend)
 	}
 	if err != nil {
 		log.Fatalf("vmsd: %v", err)

@@ -18,9 +18,10 @@ import (
 // Packages limits the analyzer to the packages whose loops carry the
 // contract.
 var Packages = map[string]bool{
-	"versiondb/internal/solve": true,
-	"versiondb/internal/delta": true,
-	"versiondb/internal/store": true,
+	"versiondb/internal/solve":        true,
+	"versiondb/internal/delta":        true,
+	"versiondb/internal/store":        true,
+	"versiondb/internal/store/remote": true,
 }
 
 // IOPackages are the stdlib packages whose calls count as I/O.

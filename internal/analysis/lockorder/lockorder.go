@@ -21,26 +21,29 @@ import (
 // earlier (outermost). A function may acquire a lock only while every
 // held lock has a strictly lower rank.
 var Ranks = map[string]int{
-	"versiondb/internal/autotune.Engine.mu":        0,
-	"versiondb/internal/jobs.Manager.mu":           10,
-	"versiondb/internal/repo.Repo.optMu":           20,
-	"versiondb/internal/repo.Repo.mu":              30,
-	"versiondb/internal/repo.Repo.shadowMu":        32,
-	"versiondb/internal/repo.Repo.jobMu":           35,
-	"versiondb/internal/store.AccessStats.flushMu": 40,
-	"versiondb/internal/store.AccessStats.mu":      50,
-	"versiondb/internal/store/metalog.Log.mu":      55,
-	"versiondb/internal/store.Layout.flightMu":     60,
-	"versiondb/internal/store.Layout.negMu":        70,
-	"versiondb/internal/store.VersionCache.mu":     80,
-	"versiondb/internal/store/faultfs.Store.mu":    85,
-	"versiondb/internal/store.MemStore.mu":         90,
-	"versiondb/internal/store.ObjectStore.mu":      91,
-	"versiondb/internal/store.fileLogDevice.mu":    92,
-	"versiondb/internal/store.memLogDevice.mu":     93,
-	"versiondb/internal/vcs.Client.rawMu":          95,
-	"versiondb/internal/solvetest.Gate.mu":         96,
-	"versiondb/internal/solve.registryMu":          97,
+	"versiondb/internal/autotune.Engine.mu":          0,
+	"versiondb/internal/jobs.Manager.mu":             10,
+	"versiondb/internal/repo.Repo.optMu":             20,
+	"versiondb/internal/repo.Repo.mu":                30,
+	"versiondb/internal/repo.Repo.shadowMu":          32,
+	"versiondb/internal/repo.Repo.jobMu":             35,
+	"versiondb/internal/store.AccessStats.flushMu":   40,
+	"versiondb/internal/store.AccessStats.mu":        50,
+	"versiondb/internal/store/metalog.Log.mu":        55,
+	"versiondb/internal/store.Layout.flightMu":       60,
+	"versiondb/internal/store.Layout.negMu":          70,
+	"versiondb/internal/store.VersionCache.mu":       80,
+	"versiondb/internal/store/faultfs.Store.mu":      85,
+	"versiondb/internal/store/remote.byteLRU.mu":     86,
+	"versiondb/internal/store/remote.latencyRing.mu": 87,
+	"versiondb/internal/store/remote.Server.mu":      88,
+	"versiondb/internal/store.MemStore.mu":           90,
+	"versiondb/internal/store.ObjectStore.mu":        91,
+	"versiondb/internal/store.fileLogDevice.mu":      92,
+	"versiondb/internal/store.memLogDevice.mu":       93,
+	"versiondb/internal/vcs.Client.rawMu":            95,
+	"versiondb/internal/solvetest.Gate.mu":           96,
+	"versiondb/internal/solve.registryMu":            97,
 }
 
 // NoIOLocks are mutexes that must never be held across blob I/O or

@@ -1,0 +1,100 @@
+package costs
+
+import "fmt"
+
+// Tier identifies one level of the serving hierarchy the cost model
+// prices retrievals against. The paper's Φ matrix prices recreation in
+// bytes read and applied; a three-level cache/local/remote deployment
+// stretches that single axis into one multiplier per tier — a byte
+// fetched from a remote chunk store costs a multiple of a local disk
+// byte, and a cache hit costs (almost) nothing.
+type Tier int
+
+const (
+	// TierCache is the in-memory near tier (the byte-budget VersionCache
+	// and the remote backend's chunk cache).
+	TierCache Tier = iota
+	// TierLocal is local durable storage (ObjectStore, MemStore).
+	TierLocal
+	// TierRemote is an S3-style remote store reached over HTTP.
+	TierRemote
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierCache:
+		return "cache"
+	case TierLocal:
+		return "local"
+	case TierRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// TierCosts maps each tier to the relative cost of retrieving one byte
+// from it, normalized so TierLocal is 1. Scaling a cost matrix's Φ
+// column by Factor(tier) lets every solver and the WeightedPhi drift
+// metric price recreation in the tier the blobs actually live in: under
+// a remote factor of 8, a budget-constrained solver materializes more
+// versions (shorter chains) than it would against local disk, because
+// every chain hop is 8× as expensive to replay.
+type TierCosts struct {
+	Cache  float64
+	Local  float64
+	Remote float64
+}
+
+// DefaultTierCosts returns the default per-tier retrieval multipliers:
+// cache hits are free, local reads are the unit, and a remote chunk
+// fetch costs 8 local bytes — commodity object-store latency/bandwidth
+// against local SSD, the same order git/restic-style chunked remotes
+// assume.
+func DefaultTierCosts() TierCosts {
+	return TierCosts{Cache: 0, Local: 1, Remote: 8}
+}
+
+// Factor returns the retrieval multiplier for tier t; unknown tiers
+// price as local.
+func (tc TierCosts) Factor(t Tier) float64 {
+	switch t {
+	case TierCache:
+		return tc.Cache
+	case TierRemote:
+		return tc.Remote
+	default:
+		return tc.Local
+	}
+}
+
+// ScaleRecreate multiplies every revealed Φ entry — diagonal, delta, and
+// variant alike — by f, leaving Δ untouched. It is how a repository over
+// a slow tier injects per-tier retrieval cost into the solve: storage
+// cost is tier-independent (the bytes land in the same store either
+// way), recreation cost is not. f must be positive: a zero factor would
+// erase the Φ structure the solvers optimize.
+func (m *Matrix) ScaleRecreate(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("costs: non-positive recreation scale %g", f))
+	}
+	if f == 1 {
+		return
+	}
+	for i := range m.full {
+		if m.full[i].Storage >= 0 {
+			m.full[i].Recreate *= f
+		}
+	}
+	for k, p := range m.deltas {
+		p.Recreate *= f
+		m.deltas[k] = p
+	}
+	for k, vs := range m.variants {
+		for i := range vs {
+			vs[i].Recreate *= f
+		}
+		m.variants[k] = vs
+	}
+}

@@ -1,0 +1,73 @@
+package costs
+
+import "testing"
+
+func TestTierCostsFactor(t *testing.T) {
+	tc := DefaultTierCosts()
+	if tc.Factor(TierCache) != tc.Cache {
+		t.Errorf("Factor(cache) = %g, want %g", tc.Factor(TierCache), tc.Cache)
+	}
+	if tc.Factor(TierLocal) != 1 {
+		t.Errorf("Factor(local) = %g, want 1", tc.Factor(TierLocal))
+	}
+	if tc.Factor(TierRemote) <= tc.Factor(TierLocal) {
+		t.Errorf("remote factor %g not more expensive than local %g", tc.Factor(TierRemote), tc.Factor(TierLocal))
+	}
+	if tc.Factor(Tier(99)) != tc.Local {
+		t.Errorf("unknown tier prices as %g, want local %g", tc.Factor(Tier(99)), tc.Local)
+	}
+	for _, tier := range []Tier{TierCache, TierLocal, TierRemote} {
+		if tier.String() == "" {
+			t.Errorf("Tier(%d) has no name", tier)
+		}
+	}
+}
+
+func TestScaleRecreate(t *testing.T) {
+	m := NewMatrix(3, true)
+	m.SetFull(0, 100, 100)
+	m.SetFull(1, 120, 120)
+	m.SetFull(2, 90, 90)
+	m.SetDelta(0, 1, 10, 10)
+	m.SetDelta(1, 2, 7, 7)
+	m.AddDeltaVariant(0, 1, 14, 5)
+
+	m.ScaleRecreate(8)
+
+	if p, _ := m.Full(1); p.Storage != 120 || p.Recreate != 960 {
+		t.Errorf("Full(1) = %+v, want Δ=120 Φ=960", p)
+	}
+	if p, _ := m.Delta(0, 1); p.Storage != 10 || p.Recreate != 80 {
+		t.Errorf("Delta(0,1) = %+v, want Δ=10 Φ=80", p)
+	}
+	// Proportionality is preserved for the uniform entries (variants are
+	// independent mechanisms and may break it — they did before scaling
+	// too).
+	g, err := m.Augment()
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	scaledVariant := false
+	for _, e := range g.Edges() {
+		if e.From == 1 && e.To == 2 && e.Storage == 14 {
+			scaledVariant = e.Recreate == 40
+		}
+	}
+	if !scaledVariant {
+		t.Errorf("delta variant Φ was not scaled (want 5×8=40)")
+	}
+
+	// Identity scale is a no-op; non-positive scales are programming errors.
+	m2 := NewMatrix(1, true)
+	m2.SetFull(0, 5, 5)
+	m2.ScaleRecreate(1)
+	if p, _ := m2.Full(0); p.Recreate != 5 {
+		t.Errorf("ScaleRecreate(1) changed Φ to %g", p.Recreate)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ScaleRecreate(0) did not panic")
+		}
+	}()
+	m2.ScaleRecreate(0)
+}

@@ -14,11 +14,15 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"net/http/httptest"
+	"os"
 	"slices"
 	"testing"
+	"time"
 
 	"versiondb/internal/store"
 	"versiondb/internal/store/faultfs"
+	"versiondb/internal/store/remote"
 )
 
 // crashWorkload drives a small fixed history: three commits on master, a
@@ -91,6 +95,90 @@ func TestRepoRecoveryEveryCrashPoint(t *testing.T) {
 		}
 		// The recovered repository is live: it accepts and serves a fresh
 		// commit.
+		post := []byte("k,v\npost,1\n")
+		id, err := r.Commit(DefaultBranch, post, "post-recovery")
+		if err != nil {
+			t.Fatalf("k=%d: post-recovery Commit: %v", k, err)
+		}
+		if got, err := r.Checkout(id); err != nil || !bytes.Equal(got, post) {
+			t.Fatalf("k=%d: post-recovery Checkout: %v", k, err)
+		}
+	}
+}
+
+// TestRepoRecoveryEveryCrashPointRemote runs the same every-byte crash
+// sweep with the blobs living in the remote tier. The crash model shifts:
+// faultfs wraps the remote *client*, so a spent budget means the process
+// died before the request went out — writes that were charged never reach
+// the server (atomic), log appends land a durable prefix (torn tail). The
+// server itself — with injected latency, so recovery also runs against a
+// slow remote — is the durable medium a fresh client reopens from.
+func TestRepoRecoveryEveryCrashPointRemote(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("k,v\na,1\nb,2\n"),
+		[]byte("k,v\na,1\nb,2\nc,3\n"),
+		[]byte("k,v\na,9\nb,2\nc,3\n"),
+		[]byte("k,v\na,1\nd,4\n"),
+	}
+
+	srv := remote.NewServer()
+	srv.SetLatency(50 * time.Microsecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	newClient := func() *remote.Store {
+		return remote.New(ts.URL, remote.Options{
+			HTTPClient:   ts.Client(),
+			HedgeAfter:   -1, // keep the sweep deterministic
+			RetryBackoff: time.Millisecond,
+		})
+	}
+
+	dry := faultfs.Wrap(newClient())
+	crashWorkload(dry, payloads)
+	w := dry.BytesWritten()
+	if w == 0 {
+		t.Fatal("dry run wrote nothing — workload broken")
+	}
+
+	// Every crash point costs a full workload over HTTP, so the default
+	// run strides through the budget (~256 crash points, still landing
+	// mid-frame, mid-blob, and between operations); the recovery CI job
+	// sets RECOVERY_EXHAUSTIVE to visit every byte.
+	stride := w/256 + 1
+	if os.Getenv("RECOVERY_EXHAUSTIVE") != "" {
+		stride = 1
+	}
+	for k := int64(0); k <= w; k += stride {
+		srv.Reset()
+		fault := faultfs.Wrap(newClient())
+		fault.SetCrashAfter(k)
+		crashWorkload(fault, payloads)
+
+		// The crashed client's process is gone; recovery speaks to the
+		// same server through a fresh one.
+		r, err := OpenBackend(newClient())
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("k=%d: reopen failed with %v, want ErrNotExist or success", k, err)
+			}
+			continue
+		}
+		n := r.NumVersions()
+		if n > len(payloads) {
+			t.Fatalf("k=%d: recovered %d versions, workload only committed %d", k, n, len(payloads))
+		}
+		for v := 0; v < n; v++ {
+			got, err := r.Checkout(v)
+			if err != nil {
+				t.Fatalf("k=%d: Checkout(%d): %v", k, v, err)
+			}
+			if !bytes.Equal(got, payloads[v]) {
+				t.Fatalf("k=%d: Checkout(%d) diverges from committed payload", k, v)
+			}
+		}
+		if n == len(payloads) && !slices.Contains(r.Branches(), "dev") {
+			t.Fatalf("k=%d: v3 recovered but its dev branch is missing", k)
+		}
 		post := []byte("k,v\npost,1\n")
 		id, err := r.Commit(DefaultBranch, post, "post-recovery")
 		if err != nil {

@@ -1,0 +1,132 @@
+package repo
+
+// Repository-over-remote-tier integration: the repo stack runs unchanged
+// on the chunked HTTP backend, the cost model prices recreation at the
+// tier's retrieval factor, and Stats surfaces the tier counters.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"versiondb/internal/store"
+	"versiondb/internal/store/remote"
+)
+
+// newRemoteBackedRepo spins up an object server and a repository whose
+// backend is a remote client against it.
+func newRemoteBackedRepo(t *testing.T, opts remote.Options) (*Repo, *remote.Store) {
+	t.Helper()
+	srv := remote.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = ts.Client()
+	}
+	if opts.HedgeAfter == 0 {
+		opts.HedgeAfter = -1 // deterministic in tests
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = time.Millisecond
+	}
+	client := remote.New(ts.URL, opts)
+	r, err := InitBackend(client)
+	if err != nil {
+		t.Fatalf("InitBackend over remote: %v", err)
+	}
+	return r, client
+}
+
+// TestRepoOverRemoteBackend: commits, checkouts, branching, reopen, and
+// optimization all work with the blobs living as chunks behind HTTP.
+func TestRepoOverRemoteBackend(t *testing.T) {
+	r, client := newRemoteBackedRepo(t, remote.Options{})
+	payloads := seedRepo(t, r, 4)
+	for v, want := range payloads {
+		got, err := r.Checkout(v)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Checkout(%d): %v", v, err)
+		}
+	}
+	if _, err := r.Optimize(nil, OptimizeOptions{}); err != nil {
+		t.Fatalf("Optimize over remote: %v", err)
+	}
+	for v, want := range payloads {
+		got, err := r.Checkout(v)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("post-optimize Checkout(%d): %v", v, err)
+		}
+	}
+
+	st := r.Stats()
+	if st.Remote == nil {
+		t.Fatal("Stats().Remote is nil over a remote backend")
+	}
+	if st.Remote.ChunksStored == 0 {
+		t.Errorf("no chunks stored despite commits")
+	}
+	if want := client.TierStats(); *st.Remote != want {
+		t.Errorf("Stats().Remote = %+v, want backend's %+v", *st.Remote, want)
+	}
+	if st.RetrievalFactor <= 1 {
+		t.Errorf("RetrievalFactor = %v, want the remote default > 1", st.RetrievalFactor)
+	}
+
+	// Reopen from the durable server state through a fresh client path.
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r2, err := OpenBackend(client)
+	if err != nil {
+		t.Fatalf("OpenBackend over remote: %v", err)
+	}
+	for v, want := range payloads {
+		got, err := r2.Checkout(v)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("reopened Checkout(%d): %v", v, err)
+		}
+	}
+}
+
+// TestRemoteTierScalesPhi: the same history on a local and a remote
+// backend reports WeightedPhi in ratio equal to the retrieval factor —
+// the solver-facing Φ column and the drift metric both price reads where
+// the bytes live. A local repo must be entirely unaffected (factor 1).
+func TestRemoteTierScalesPhi(t *testing.T) {
+	const factor = 8.0
+	local, err := InitBackend(store.NewMemStore())
+	if err != nil {
+		t.Fatalf("InitBackend: %v", err)
+	}
+	rem, _ := newRemoteBackedRepo(t, remote.Options{RetrievalFactor: factor})
+
+	for _, r := range []*Repo{local, rem} {
+		base := "k,v\n"
+		for i := 0; i < 6; i++ {
+			base += fmt.Sprintf("row%d,%d\n", i, i)
+			if _, err := r.Commit(DefaultBranch, []byte(base), "c"); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+		}
+	}
+
+	if got := local.Stats().RetrievalFactor; got != 1 {
+		t.Errorf("local RetrievalFactor = %v, want 1", got)
+	}
+	if got := rem.Stats().RetrievalFactor; got != factor {
+		t.Errorf("remote RetrievalFactor = %v, want %v", got, factor)
+	}
+
+	lp, rp := local.WeightedPhi(), rem.WeightedPhi()
+	if lp <= 0 {
+		t.Fatalf("local WeightedPhi = %v, want > 0", lp)
+	}
+	// The access weights decay in wall time, so the two repos' weighted
+	// means differ in the noise; the tier factor must still dominate.
+	if ratio := rp / lp; math.Abs(ratio-factor) > 0.01*factor {
+		t.Errorf("remote/local WeightedPhi = %v, want the retrieval factor %v", ratio, factor)
+	}
+}

@@ -703,6 +703,15 @@ type Stats struct {
 	// blobs they deleted.
 	GCRuns      int64
 	GCCollected int64
+	// Remote is the remote tier's counter snapshot (chunk cache traffic,
+	// hedging outcomes, upload dedup) when the backend is tiered, nil for
+	// purely local backends — consumers omit the section rather than
+	// printing zeros.
+	Remote *store.TierStats
+	// RetrievalFactor is the backend's per-read cost multiplier relative
+	// to a local disk read (1 for local backends); WeightedPhi and the
+	// optimizer's Φ column are scaled by it.
+	RetrievalFactor float64
 }
 
 // Stats computes the current storage statistics. Chain statistics come
@@ -726,6 +735,11 @@ func (r *Repo) Stats() Stats {
 		st.Log = r.log.Stats()
 	}
 	st.GCRuns, st.GCCollected = r.gcRuns.Load(), r.gcCollected.Load()
+	st.RetrievalFactor = r.retrievalFactor()
+	if ts, ok := r.backend.(store.TierStatsReporter); ok {
+		snap := ts.TierStats()
+		st.Remote = &snap
+	}
 	for _, v := range r.meta.Versions {
 		st.LogicalBytes += v.Size
 	}
@@ -740,6 +754,18 @@ func (r *Repo) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// retrievalFactor is the backend's per-read cost multiplier (see
+// store.CostReporter and costs.TierCosts): 1 for local backends, the
+// remote tier's configured factor otherwise. Factors ≤ 0 are ignored.
+func (r *Repo) retrievalFactor() float64 {
+	if cr, ok := r.backend.(store.CostReporter); ok {
+		if f := cr.RetrievalCostFactor(); f > 0 {
+			return f
+		}
+	}
+	return 1
 }
 
 // AccessStats exposes the repository's access telemetry (counters with
@@ -795,7 +821,11 @@ func (r *Repo) WeightedPhi() float64 {
 	if wsum == 0 {
 		return 0
 	}
-	return sum / wsum
+	// Price the bytes where they live: a remote tier multiplies every
+	// cold read. The factor is constant across versions, so autotune's
+	// drift *ratios* are unchanged — but absolute Φ comparisons (and the
+	// operator reading `vms stats`) see the real three-level tradeoff.
+	return sum / wsum * r.retrievalFactor()
 }
 
 // OptimizeObjective selects the algorithm used by Optimize when no solver
@@ -890,7 +920,10 @@ type OptimizeOptions struct {
 // consistent with the payloads even when commits land mid-solve. The
 // resolved solver's capability record rides along so callers need not look
 // it up again.
-func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOptions) (solve.Request, solve.Info, error) {
+// retrievalFactor scales the one Φ-unit default derived from raw payload
+// sizes (the max-Φ bound) so it stays consistent with a cost matrix whose
+// Recreate column was scaled for a remote tier.
+func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOptions, retrievalFactor float64) (solve.Request, solve.Info, error) {
 	req := opts.Request
 	if req.Theta <= 0 {
 		req.Theta = opts.Theta
@@ -927,7 +960,7 @@ func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOpt
 					maxSize = s
 				}
 			}
-			req.Theta = 2 * maxSize
+			req.Theta = 2 * maxSize * retrievalFactor
 		}
 	case solve.KnobThetaSum:
 		if req.Theta <= 0 {
@@ -1041,11 +1074,19 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 	if err != nil {
 		return nil, err
 	}
+	// Per-tier retrieval pricing: recreation replays bytes out of the
+	// backend, so a remote tier multiplies every Φ entry while Δ (bytes
+	// at rest) is tier-independent. Solvers then weigh materializing
+	// against chaining under the real three-level tradeoff.
+	factor := r.retrievalFactor()
+	if factor != 1 {
+		m.ScaleRecreate(factor)
+	}
 	inst, err := solve.NewInstance(m)
 	if err != nil {
 		return nil, err
 	}
-	req, info, err := solveRequest(inst, versions, opts)
+	req, info, err := solveRequest(inst, versions, opts, factor)
 	if err != nil {
 		return nil, err
 	}

@@ -1,173 +1,29 @@
-package store
+package store_test
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
-	"io/fs"
-	"sync"
 	"testing"
+
+	"versiondb/internal/store"
+	"versiondb/internal/store/storetest"
 )
 
-// backends under conformance test; every Backend implementation must pass
-// the shared suite below.
-func conformanceBackends(t *testing.T) map[string]func(t *testing.T) Backend {
-	t.Helper()
-	return map[string]func(t *testing.T) Backend{
-		"fs": func(t *testing.T) Backend {
-			s, err := Open(t.TempDir())
+// TestBackendConformance runs the shared storetest suite over both
+// shipped local backends. The remote backend runs the identical suite
+// (plus fault injection) in internal/store/remote.
+func TestBackendConformance(t *testing.T) {
+	backends := map[string]func(t *testing.T) store.Backend{
+		"fs": func(t *testing.T) store.Backend {
+			s, err := store.Open(t.TempDir())
 			if err != nil {
 				t.Fatalf("Open: %v", err)
 			}
 			return s
 		},
-		"mem": func(t *testing.T) Backend { return NewMemStore() },
+		"mem": func(t *testing.T) store.Backend { return store.NewMemStore() },
 	}
-}
-
-func TestBackendConformance(t *testing.T) {
-	for name, open := range conformanceBackends(t) {
+	for name, open := range backends {
 		t.Run(name, func(t *testing.T) {
-			testBackendConformance(t, open)
+			storetest.RunBackendConformance(t, open)
 		})
 	}
-}
-
-func testBackendConformance(t *testing.T, open func(t *testing.T) Backend) {
-	t.Run("put get roundtrip", func(t *testing.T) {
-		b := open(t)
-		data := []byte("conformance payload")
-		id, err := b.Put(data)
-		if err != nil {
-			t.Fatalf("Put: %v", err)
-		}
-		if id != HashBytes(data) {
-			t.Errorf("Put returned %s, want content address", id)
-		}
-		if !b.Has(id) {
-			t.Errorf("Has(%s) = false after Put", id)
-		}
-		got, err := b.Get(id)
-		if err != nil {
-			t.Fatalf("Get: %v", err)
-		}
-		if !bytes.Equal(got, data) {
-			t.Errorf("Get = %q, want %q", got, data)
-		}
-	})
-	t.Run("put idempotent", func(t *testing.T) {
-		b := open(t)
-		id1, err1 := b.Put([]byte("dup"))
-		id2, err2 := b.Put([]byte("dup"))
-		if err1 != nil || err2 != nil || id1 != id2 {
-			t.Errorf("Put not idempotent: %v %v / %v %v", id1, err1, id2, err2)
-		}
-	})
-	t.Run("missing and malformed", func(t *testing.T) {
-		b := open(t)
-		if _, err := b.Get(HashBytes([]byte("never stored"))); err == nil {
-			t.Errorf("Get on missing blob succeeded")
-		}
-		if _, err := b.Get("short"); err == nil {
-			t.Errorf("Get on malformed id succeeded")
-		}
-		if b.Has("also-bad") {
-			t.Errorf("Has on malformed id = true")
-		}
-	})
-	t.Run("delete", func(t *testing.T) {
-		b := open(t)
-		id, _ := b.Put([]byte("doomed"))
-		if err := b.Delete(id); err != nil {
-			t.Fatalf("Delete: %v", err)
-		}
-		if b.Has(id) {
-			t.Errorf("blob survives Delete")
-		}
-		if err := b.Delete(id); err != nil {
-			t.Errorf("double Delete errored: %v", err)
-		}
-	})
-	t.Run("list sorted", func(t *testing.T) {
-		b := open(t)
-		want := map[ID]bool{}
-		for i := 0; i < 5; i++ {
-			id, err := b.Put([]byte(fmt.Sprintf("blob %d", i)))
-			if err != nil {
-				t.Fatal(err)
-			}
-			want[id] = true
-		}
-		ids, err := b.List()
-		if err != nil {
-			t.Fatalf("List: %v", err)
-		}
-		if len(ids) != len(want) {
-			t.Fatalf("List returned %d ids, want %d", len(ids), len(want))
-		}
-		for i, id := range ids {
-			if !want[id] {
-				t.Errorf("List returned unknown id %s", id)
-			}
-			if i > 0 && ids[i-1] >= id {
-				t.Errorf("List not sorted at %d: %s ≥ %s", i, ids[i-1], id)
-			}
-		}
-	})
-	t.Run("meta roundtrip", func(t *testing.T) {
-		b := open(t)
-		ms, ok := b.(MetaStore)
-		if !ok {
-			t.Fatalf("backend %T does not implement MetaStore", b)
-		}
-		if _, err := ms.GetMeta("never.json"); !errors.Is(err, fs.ErrNotExist) {
-			t.Errorf("GetMeta on missing name: err = %v, want fs.ErrNotExist", err)
-		}
-		if err := ms.PutMeta("doc.json", []byte(`{"a":1}`)); err != nil {
-			t.Fatalf("PutMeta: %v", err)
-		}
-		if err := ms.PutMeta("doc.json", []byte(`{"a":2}`)); err != nil {
-			t.Fatalf("PutMeta overwrite: %v", err)
-		}
-		got, err := ms.GetMeta("doc.json")
-		if err != nil || string(got) != `{"a":2}` {
-			t.Errorf("GetMeta = %q, %v", got, err)
-		}
-	})
-	t.Run("concurrent put get", func(t *testing.T) {
-		b := open(t)
-		const workers = 8
-		var wg sync.WaitGroup
-		errs := make(chan error, workers*2)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := 0; i < 20; i++ {
-					// Half the blobs collide across workers, exercising
-					// idempotent concurrent Put of identical content.
-					data := []byte(fmt.Sprintf("blob %d", (w%2)*100+i))
-					id, err := b.Put(data)
-					if err != nil {
-						errs <- fmt.Errorf("Put: %w", err)
-						return
-					}
-					got, err := b.Get(id)
-					if err != nil {
-						errs <- fmt.Errorf("Get: %w", err)
-						return
-					}
-					if !bytes.Equal(got, data) {
-						errs <- fmt.Errorf("roundtrip mismatch for %s", id)
-						return
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		close(errs)
-		for err := range errs {
-			t.Error(err)
-		}
-	})
 }

@@ -1,0 +1,149 @@
+package remote
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomBytes returns n pseudo-random bytes from a fixed seed.
+func randomBytes(t testing.TB, seed int64, n int) []byte {
+	t.Helper()
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func checkChunking(t *testing.T, data []byte, p ChunkerParams) [][]byte {
+	t.Helper()
+	p = p.normalize()
+	chunks := Split(data, p)
+	var total int
+	for i, c := range chunks {
+		total += len(c)
+		if len(c) > p.Max {
+			t.Errorf("chunk %d has %d bytes, max %d", i, len(c), p.Max)
+		}
+		if i < len(chunks)-1 && len(c) < p.Min {
+			t.Errorf("non-final chunk %d has %d bytes, min %d", i, len(c), p.Min)
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("chunks sum to %d bytes, want %d", total, len(data))
+	}
+	if !bytes.Equal(bytes.Join(chunks, nil), data) {
+		t.Fatalf("chunk concatenation differs from input")
+	}
+	return chunks
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	p := ChunkerParams{Min: 64, Avg: 256, Max: 1024}
+	for _, n := range []int{0, 1, 63, 64, 100, 1024, 10_000, 100_000} {
+		data := randomBytes(t, int64(n), n)
+		chunks := checkChunking(t, data, p)
+		if n == 0 && len(chunks) != 0 {
+			t.Errorf("empty input produced %d chunks", len(chunks))
+		}
+		if n >= 10_000 && len(chunks) < 4 {
+			t.Errorf("%d bytes produced only %d chunks — cut points not firing", n, len(chunks))
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	data := randomBytes(t, 7, 50_000)
+	a := SplitPoints(data, DefaultChunkerParams)
+	b := SplitPoints(data, DefaultChunkerParams)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic chunk count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cut %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPrefixEditResync is the dedup property the remote tier banks on: a
+// prefix edit disturbs chunk boundaries only locally, and once the
+// chunkings share a boundary again, every later chunk is identical.
+func TestPrefixEditResync(t *testing.T) {
+	p := ChunkerParams{Min: 64, Avg: 256, Max: 1024}
+	orig := randomBytes(t, 42, 50_000)
+	edited := append([]byte("inserted prefix bytes ~~~"), orig...)
+
+	shared := sharedSuffixChunks(orig, edited, p)
+	if shared < 10 {
+		t.Errorf("only %d trailing chunks shared after prefix edit — chunking did not resync", shared)
+	}
+}
+
+// sharedSuffixChunks counts how many trailing chunks a and b share.
+func sharedSuffixChunks(a, b []byte, p ChunkerParams) int {
+	ca, cb := Split(a, p), Split(b, p)
+	n := 0
+	for n < len(ca) && n < len(cb) {
+		if !bytes.Equal(ca[len(ca)-1-n], cb[len(cb)-1-n]) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// FuzzChunkerRoundTrip fuzzes the chunker's two contracts: chunks of
+// arbitrary input reassemble byte-identically within the size bounds,
+// and cut points are stable under prefix edits — once the original and
+// edited chunkings agree on a suffix-aligned boundary, they agree on
+// every boundary after it (the hash state resets at each cut, so
+// boundaries depend only on the bytes since the previous one).
+func FuzzChunkerRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world"), []byte("x"))
+	f.Add(randomBytes(f, 1, 5000), []byte("prefix"))
+	f.Add(bytes.Repeat([]byte{0}, 4096), []byte{1, 2, 3})
+	f.Add([]byte{}, []byte{})
+	p := ChunkerParams{Min: 16, Avg: 64, Max: 256}
+	f.Fuzz(func(t *testing.T, data, prefix []byte) {
+		checkChunking(t, data, p)
+
+		// Re-synchronization: align boundaries by distance from the END,
+		// where both inputs are identical. Any boundary present in both
+		// chunkings must be followed (toward the end) by identical
+		// boundary sets.
+		origEnds := suffixBoundarySet(data, p)
+		edited := append(append([]byte{}, prefix...), data...)
+		editEnds := suffixBoundarySet(edited, p)
+		// Find the earliest (deepest-from-end) boundary both share, then
+		// require every shallower original boundary to exist in the edit.
+		for d := range origEnds {
+			if !editEnds[d] {
+				continue
+			}
+			for d2 := range origEnds {
+				if d2 < d && !editEnds[d2] {
+					t.Fatalf("boundary at end-distance %d shared, but shallower original boundary %d missing after prefix edit", d, d2)
+				}
+			}
+			for d2 := range editEnds {
+				if d2 < d && !origEnds[d2] {
+					t.Fatalf("boundary at end-distance %d shared, but edit gained extra boundary %d absent in original", d, d2)
+				}
+			}
+		}
+	})
+}
+
+// suffixBoundarySet returns the chunk boundaries of data keyed by
+// distance from the end (so prefix edits don't shift the keys). The
+// final boundary (distance 0) is excluded — it is positional, not
+// content-defined.
+func suffixBoundarySet(data []byte, p ChunkerParams) map[int]bool {
+	set := map[int]bool{}
+	for _, end := range SplitPoints(data, p) {
+		if d := len(data) - end; d > 0 {
+			set[d] = true
+		}
+	}
+	return set
+}

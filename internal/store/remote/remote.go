@@ -1,0 +1,796 @@
+package remote
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"versiondb/internal/costs"
+	"versiondb/internal/store"
+)
+
+// Object key namespaces. Chunks and manifests are content-addressed and
+// immutable; meta documents and logs are named and mutable.
+const (
+	chunkPrefix    = "c/" // c/<chunk sha256> — chunk bytes
+	manifestPrefix = "b/" // b/<blob sha256>  — chunk-list manifest
+	metaPrefix     = "m/" // m/<name>         — metadata document
+	logPrefix      = "l/" // l/<name>         — append-only log
+)
+
+// errTransient marks failures worth retrying: 5xx responses, connection
+// errors, and torn bodies. 404 and 4xx are authoritative and permanent.
+var errTransient = errors.New("remote: transient failure")
+
+// manifest is the per-blob chunk list stored at b/<blob id>.
+type manifest struct {
+	Size   int64           `json:"size"`
+	Chunks []manifestChunk `json:"chunks"`
+}
+
+type manifestChunk struct {
+	ID   store.ID `json:"id"`
+	Size int64    `json:"size"`
+}
+
+// Options configures a remote Store. The zero value is fully usable:
+// default chunking, a 32 MiB near-tier chunk cache, adaptive hedging,
+// and a handful of retries.
+type Options struct {
+	// CacheBytes bounds the near-tier chunk/manifest cache; 0 means
+	// DefaultCacheBytes, negative disables caching entirely.
+	CacheBytes int64
+	// HedgeAfter is the delay before a second, racing request is sent for
+	// a slow chunk fetch. 0 means adaptive: hedge after the observed p95
+	// fetch latency (no hedging until enough samples). Negative disables
+	// hedging. Either way the delay is capped at store.DefaultNegativeTTL
+	// — past that point the serving path would already have given up on
+	// the read being fast.
+	HedgeAfter time.Duration
+	// Retries bounds transient-failure retries per request; 0 means
+	// DefaultRetries, negative disables retrying.
+	Retries int
+	// RetryBackoff is the base exponential backoff between retries; 0
+	// means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Chunker overrides the content-defined chunking parameters; zero
+	// fields fall back to DefaultChunkerParams.
+	Chunker ChunkerParams
+	// RetrievalFactor is the per-read cost multiplier this tier reports
+	// through store.CostReporter; 0 means costs.DefaultTierCosts().Remote.
+	RetrievalFactor float64
+	// HTTPClient overrides the transport (tests inject the httptest
+	// server's client); nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Defaults for the zero Options value.
+const (
+	DefaultCacheBytes   = int64(32 << 20)
+	DefaultRetries      = 4
+	DefaultRetryBackoff = 5 * time.Millisecond
+)
+
+// latencySamples is the ring size of the adaptive hedger's observations;
+// minLatencySamples is how many it needs before hedging at all.
+const (
+	latencySamples    = 64
+	minLatencySamples = 8
+)
+
+// Store is the remote-tier client: a content-addressed store.Backend
+// whose blobs live as content-defined chunks in an S3-style HTTP object
+// store. Reads assemble blobs from chunks through a byte-budget
+// near-tier cache, hedge slow fetches, and retry transient failures;
+// writes dedup chunk-wise against the remote before transferring.
+//
+// A Store also implements store.MetaStore (atomic named documents),
+// store.BlobStreamer (chunk-at-a-time streaming reads, so the zero-copy
+// checkout path never holds a whole base payload just to seed a reader),
+// store.LogStore (server-side append/truncate, the metadata log's
+// durable medium), store.TierStatsReporter, and store.CostReporter.
+// All methods are safe for concurrent use.
+type Store struct {
+	base    string // server URL, no trailing slash
+	hc      *http.Client
+	params  ChunkerParams
+	hedge   time.Duration // <0 off, 0 adaptive, >0 fixed
+	retries int
+	backoff time.Duration
+	factor  float64
+
+	cache *byteLRU
+	lat   *latencyRing
+
+	stats tierCounters
+}
+
+// tierCounters is the atomic backing of store.TierStats.
+type tierCounters struct {
+	chunkFetches, chunkHits     atomic.Int64
+	hedged, hedgeWins, retries  atomic.Int64
+	chunksStored, chunksDeduped atomic.Int64
+	bytesFetched                atomic.Int64
+	bytesStored, bytesDeduped   atomic.Int64
+}
+
+// New returns a Store speaking to the object server at baseURL.
+func New(baseURL string, opts Options) *Store {
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	if opts.Retries == 0 {
+		opts.Retries = DefaultRetries
+	} else if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	if opts.RetrievalFactor <= 0 {
+		opts.RetrievalFactor = costs.DefaultTierCosts().Remote
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Store{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      hc,
+		params:  opts.Chunker.normalize(),
+		hedge:   opts.HedgeAfter,
+		retries: opts.Retries,
+		backoff: opts.RetryBackoff,
+		factor:  opts.RetrievalFactor,
+		cache:   newByteLRU(opts.CacheBytes),
+		lat:     &latencyRing{},
+	}
+}
+
+// Compile-time conformance to every backend capability the repository
+// layer can exploit.
+var (
+	_ store.Backend           = (*Store)(nil)
+	_ store.MetaStore         = (*Store)(nil)
+	_ store.BlobStreamer      = (*Store)(nil)
+	_ store.LogStore          = (*Store)(nil)
+	_ store.TierStatsReporter = (*Store)(nil)
+	_ store.CostReporter      = (*Store)(nil)
+)
+
+// TierStats snapshots the remote tier's counters.
+func (s *Store) TierStats() store.TierStats {
+	return store.TierStats{
+		ChunkFetches:  s.stats.chunkFetches.Load(),
+		ChunkHits:     s.stats.chunkHits.Load(),
+		Hedged:        s.stats.hedged.Load(),
+		HedgeWins:     s.stats.hedgeWins.Load(),
+		Retries:       s.stats.retries.Load(),
+		ChunksStored:  s.stats.chunksStored.Load(),
+		ChunksDeduped: s.stats.chunksDeduped.Load(),
+		BytesFetched:  s.stats.bytesFetched.Load(),
+		BytesStored:   s.stats.bytesStored.Load(),
+		BytesDeduped:  s.stats.bytesDeduped.Load(),
+	}
+}
+
+// RetrievalCostFactor reports the per-read cost multiplier of this tier
+// relative to a local disk read (see costs.TierCosts).
+func (s *Store) RetrievalCostFactor() float64 { return s.factor }
+
+// Put chunks data, uploads only the chunks the remote does not already
+// hold, and writes the blob's manifest. Idempotent: re-putting an
+// existing blob is a single existence probe.
+func (s *Store) Put(data []byte) (store.ID, error) {
+	ctx := context.Background()
+	id := store.HashBytes(data)
+	mkey := manifestPrefix + string(id)
+	if _, ok := s.cache.get(mkey); ok {
+		return id, nil
+	}
+	if ok, err := s.headObject(ctx, mkey); err != nil {
+		return "", err
+	} else if ok {
+		return id, nil
+	}
+	m := manifest{Size: int64(len(data))}
+	for _, chunk := range Split(data, s.params) {
+		cid := store.HashBytes(chunk)
+		m.Chunks = append(m.Chunks, manifestChunk{ID: cid, Size: int64(len(chunk))})
+		ckey := chunkPrefix + string(cid)
+		// A cached chunk was either fetched from or stored to the remote,
+		// so the remote has it — skip even the HEAD.
+		if _, ok := s.cache.get(ckey); ok {
+			s.stats.chunksDeduped.Add(1)
+			s.stats.bytesDeduped.Add(int64(len(chunk)))
+			continue
+		}
+		if ok, err := s.headObject(ctx, ckey); err != nil {
+			return "", err
+		} else if ok {
+			s.stats.chunksDeduped.Add(1)
+			s.stats.bytesDeduped.Add(int64(len(chunk)))
+			continue
+		}
+		if err := s.putObject(ctx, ckey, chunk); err != nil {
+			return "", err
+		}
+		s.stats.chunksStored.Add(1)
+		s.stats.bytesStored.Add(int64(len(chunk)))
+		s.cache.put(ckey, append([]byte(nil), chunk...))
+	}
+	doc, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("remote: put: %w", err)
+	}
+	if err := s.putObject(ctx, mkey, doc); err != nil {
+		return "", err
+	}
+	s.cache.put(mkey, doc)
+	return id, nil
+}
+
+// Get assembles the blob from its chunks, verifying each chunk's content
+// address and the whole blob's.
+func (s *Store) Get(id store.ID) ([]byte, error) {
+	ctx := context.Background()
+	m, err := s.getManifest(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, 0, m.Size)
+	for _, c := range m.Chunks {
+		chunk, err := s.fetchChunk(ctx, c.ID)
+		if err != nil {
+			return nil, fmt.Errorf("remote: get %s: %w", shortID(id), err)
+		}
+		data = append(data, chunk...)
+	}
+	if store.HashBytes(data) != id {
+		return nil, fmt.Errorf("remote: get %s: content hash mismatch", shortID(id))
+	}
+	return data, nil
+}
+
+// GetStream returns an incremental reader over the blob: chunks are
+// fetched lazily as the caller consumes them, so a large base payload
+// never sits in memory whole. The running whole-blob hash is verified at
+// EOF; a mismatch surfaces as a Read error, never as silent truncation.
+func (s *Store) GetStream(id store.ID) (io.ReadCloser, error) {
+	m, err := s.getManifest(context.Background(), id)
+	if err != nil {
+		return nil, err
+	}
+	return &chunkReader{s: s, id: id, chunks: m.Chunks, hash: sha256.New()}, nil
+}
+
+// Has reports whether the blob's manifest exists (near tier or remote).
+func (s *Store) Has(id store.ID) bool {
+	if len(id) != 64 {
+		return false
+	}
+	mkey := manifestPrefix + string(id)
+	if _, ok := s.cache.get(mkey); ok {
+		return true
+	}
+	ok, err := s.headObject(context.Background(), mkey)
+	return err == nil && ok
+}
+
+// Delete removes the blob's manifest. Chunks are shared across blobs (the
+// whole point of content-defined chunking along a delta chain), so they
+// are left behind; reclaiming unreferenced chunks is a server-side sweep,
+// out of scope here. Deleting a missing blob is not an error.
+func (s *Store) Delete(id store.ID) error {
+	mkey := manifestPrefix + string(id)
+	s.cache.drop(mkey)
+	return s.deleteObject(context.Background(), mkey)
+}
+
+// List returns the IDs of all stored blobs (manifests) in sorted order.
+func (s *Store) List() ([]store.ID, error) {
+	keys, err := s.listObjects(context.Background(), manifestPrefix)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]store.ID, 0, len(keys))
+	for _, k := range keys {
+		ids = append(ids, store.ID(strings.TrimPrefix(k, manifestPrefix)))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// PutMeta writes a named metadata document. The object PUT replaces the
+// value wholesale server-side, so readers see old or new, never a mix.
+func (s *Store) PutMeta(name string, data []byte) error {
+	return s.putObject(context.Background(), metaPrefix+name, data)
+}
+
+// GetMeta reads a named metadata document; a missing name yields an
+// error satisfying errors.Is(err, fs.ErrNotExist). Meta documents are
+// mutable, so they are never cached.
+func (s *Store) GetMeta(name string) ([]byte, error) {
+	data, err := s.getObject(context.Background(), metaPrefix+name)
+	if err != nil {
+		return nil, fmt.Errorf("remote: meta %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// OpenLog opens the named server-side append-only log.
+func (s *Store) OpenLog(name string) (store.LogDevice, error) {
+	return &logDevice{s: s, key: logPrefix + name}, nil
+}
+
+// getManifest fetches and decodes the blob's manifest, near tier first.
+func (s *Store) getManifest(ctx context.Context, id store.ID) (manifest, error) {
+	var m manifest
+	if len(id) != 64 {
+		return m, fmt.Errorf("remote: malformed id %q", id)
+	}
+	mkey := manifestPrefix + string(id)
+	doc, ok := s.cache.get(mkey)
+	if !ok {
+		var err error
+		doc, err = s.hedgedGet(ctx, mkey)
+		if err != nil {
+			return m, fmt.Errorf("remote: get %s: %w", shortID(id), err)
+		}
+		s.cache.put(mkey, doc)
+	}
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return m, fmt.Errorf("remote: get %s: bad manifest: %w", shortID(id), err)
+	}
+	return m, nil
+}
+
+// fetchChunk returns one chunk's bytes, near tier first, verifying the
+// content address. One call is ONE logical fetch in the stats no matter
+// how many HTTP requests the hedge/retry machinery raced for it.
+func (s *Store) fetchChunk(ctx context.Context, cid store.ID) ([]byte, error) {
+	ckey := chunkPrefix + string(cid)
+	if data, ok := s.cache.get(ckey); ok {
+		s.stats.chunkHits.Add(1)
+		return data, nil
+	}
+	data, err := s.hedgedGet(ctx, ckey)
+	if err != nil {
+		return nil, err
+	}
+	if store.HashBytes(data) != cid {
+		return nil, fmt.Errorf("chunk %s: content hash mismatch", shortID(cid))
+	}
+	s.stats.chunkFetches.Add(1)
+	s.stats.bytesFetched.Add(int64(len(data)))
+	s.cache.put(ckey, data)
+	return data, nil
+}
+
+// hedgeDelay decides this fetch's hedge trigger: the configured fixed
+// delay, the adaptive p95, or -1 for "do not hedge". Always capped at
+// store.DefaultNegativeTTL — beyond that the serving path has already
+// written the read off as slow.
+func (s *Store) hedgeDelay() time.Duration {
+	d := s.hedge
+	if d < 0 {
+		return -1
+	}
+	if d == 0 {
+		d = s.lat.p95()
+		if d <= 0 {
+			return -1 // not enough samples yet
+		}
+	}
+	if d > store.DefaultNegativeTTL {
+		d = store.DefaultNegativeTTL
+	}
+	return d
+}
+
+// hedgedGet fetches one object, racing a second request against a slow
+// first one. First response wins; the loser's request is canceled. A
+// definitive miss (404) from either arm wins immediately — the object is
+// equally absent on both.
+func (s *Store) hedgedGet(ctx context.Context, key string) ([]byte, error) {
+	delay := s.hedgeDelay()
+	start := time.Now()
+	if delay < 0 {
+		data, err := s.getObject(ctx, key)
+		if err == nil {
+			s.lat.observe(time.Since(start))
+		}
+		return data, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // kills the losing arm's in-flight request
+
+	type result struct {
+		data  []byte
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedge bool) {
+		go func() {
+			data, err := s.getObject(ctx, key)
+			ch <- result{data, err, hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	outstanding := 1
+	timerC := timer.C
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timerC:
+			timerC = nil
+			s.stats.hedged.Add(1)
+			launch(true)
+			outstanding++
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					s.stats.hedgeWins.Add(1)
+				}
+				s.lat.observe(time.Since(start))
+				return r.data, nil
+			}
+			if errors.Is(r.err, fs.ErrNotExist) || outstanding == 0 {
+				return nil, r.err
+			}
+			// This arm failed terminally but the other is still running;
+			// wait for it.
+		}
+	}
+}
+
+// withRetry runs op, retrying transient failures with exponential
+// backoff until the retry budget or ctx runs out.
+func (s *Store) withRetry(ctx context.Context, op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !errors.Is(err, errTransient) || attempt >= s.retries {
+			return err
+		}
+		s.stats.retries.Add(1)
+		if !sleepCtx(ctx, s.backoff<<uint(attempt)) {
+			return err
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx is done; it reports whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// getObject GETs one object with retry. 404 maps to fs.ErrNotExist.
+func (s *Store) getObject(ctx context.Context, key string) ([]byte, error) {
+	var data []byte
+	err := s.withRetry(ctx, func() error {
+		var err error
+		data, err = s.getOnce(ctx, key)
+		return err
+	})
+	return data, err
+}
+
+// getOnce is a single GET attempt. Transport errors, 5xx, and short
+// bodies (Content-Length mismatch — a torn response) are transient.
+func (s *Store) getOnce(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/o/"+key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("get %s: %w", key, err)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("get %s: %w: %w", key, err, errTransient)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// A body cut short of its declared Content-Length surfaces
+			// here as io.ErrUnexpectedEOF: a torn response.
+			return nil, fmt.Errorf("get %s: torn body: %w: %w", key, err, errTransient)
+		}
+		return data, nil
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, fmt.Errorf("get %s: %w", key, fs.ErrNotExist)
+	case resp.StatusCode >= 500:
+		return nil, fmt.Errorf("get %s: status %d: %w", key, resp.StatusCode, errTransient)
+	default:
+		return nil, fmt.Errorf("get %s: unexpected status %d", key, resp.StatusCode)
+	}
+}
+
+// call issues one non-GET request with retry, discarding the body.
+// 5xx and transport errors are transient; okStatus lists the accepted
+// outcomes. notFoundOK treats 404 as acceptance (idempotent deletes).
+func (s *Store) call(ctx context.Context, method, path string, body []byte, okStatus ...int) (int, []byte, error) {
+	var status int
+	var respBody []byte
+	err := s.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, method, s.base+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", method, path, err)
+		}
+		resp, err := s.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("%s %s: %w: %w", method, path, err, errTransient)
+		}
+		defer resp.Body.Close()
+		respBody, _ = io.ReadAll(resp.Body)
+		status = resp.StatusCode
+		if status >= 500 {
+			return fmt.Errorf("%s %s: status %d: %w", method, path, status, errTransient)
+		}
+		for _, ok := range okStatus {
+			if status == ok {
+				return nil
+			}
+		}
+		return fmt.Errorf("%s %s: unexpected status %d", method, path, status)
+	})
+	return status, respBody, err
+}
+
+func (s *Store) putObject(ctx context.Context, key string, data []byte) error {
+	_, _, err := s.call(ctx, http.MethodPut, "/o/"+key, data, http.StatusCreated, http.StatusOK)
+	return err
+}
+
+func (s *Store) headObject(ctx context.Context, key string) (bool, error) {
+	status, _, err := s.call(ctx, http.MethodHead, "/o/"+key, nil, http.StatusOK, http.StatusNotFound)
+	if err != nil {
+		return false, err
+	}
+	return status == http.StatusOK, nil
+}
+
+func (s *Store) deleteObject(ctx context.Context, key string) error {
+	_, _, err := s.call(ctx, http.MethodDelete, "/o/"+key, nil,
+		http.StatusNoContent, http.StatusOK, http.StatusNotFound)
+	return err
+}
+
+func (s *Store) listObjects(ctx context.Context, prefix string) ([]string, error) {
+	_, body, err := s.call(ctx, http.MethodGet, "/list?prefix="+prefix, nil, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	if err := json.Unmarshal(body, &keys); err != nil {
+		return nil, fmt.Errorf("remote: list: %w", err)
+	}
+	return keys, nil
+}
+
+// chunkReader streams a blob chunk by chunk, verifying each chunk's
+// address on fetch and the whole blob's at EOF.
+type chunkReader struct {
+	s      *Store
+	id     store.ID
+	chunks []manifestChunk
+	next   int // index of the next chunk to fetch
+	buf    []byte
+	hash   interface {
+		io.Writer
+		Sum([]byte) []byte
+	}
+	err error
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.buf) == 0 {
+		if r.next >= len(r.chunks) {
+			if hex.EncodeToString(r.hash.Sum(nil)) != string(r.id) {
+				r.err = fmt.Errorf("remote: stream %s: content hash mismatch", shortID(r.id))
+			} else {
+				r.err = io.EOF
+			}
+			return 0, r.err
+		}
+		chunk, err := r.s.fetchChunk(context.Background(), r.chunks[r.next].ID)
+		if err != nil {
+			r.err = fmt.Errorf("remote: stream %s: %w", shortID(r.id), err)
+			return 0, r.err
+		}
+		r.next++
+		r.hash.Write(chunk)
+		r.buf = chunk
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+func (r *chunkReader) Close() error {
+	r.err = fs.ErrClosed
+	return nil
+}
+
+// logDevice is a server-side append-only log. Appends and truncations
+// mutate nothing on an injected 5xx (the server rejects before touching
+// state), so retrying them is safe in this protocol.
+type logDevice struct {
+	s   *Store
+	key string
+}
+
+// ReadAll returns the log's contents; a log never appended to is empty,
+// matching the local devices' create-on-open semantics.
+func (d *logDevice) ReadAll() ([]byte, error) {
+	data, err := d.s.getObject(context.Background(), d.key)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+func (d *logDevice) Append(p []byte) error {
+	_, _, err := d.s.call(context.Background(), http.MethodPost, "/append/"+d.key, p, http.StatusOK)
+	return err
+}
+
+func (d *logDevice) Truncate(size int64) error {
+	_, _, err := d.s.call(context.Background(), http.MethodPost,
+		fmt.Sprintf("/truncate/%s?size=%d", d.key, size), nil, http.StatusOK)
+	return err
+}
+
+func (d *logDevice) Close() error { return nil }
+
+// byteLRU is the near-tier cache: a byte-budget LRU of chunks and
+// manifests keyed by object key — VersionCache's byte-budget discipline
+// (including the oversized-entry admission bypass) at chunk granularity.
+type byteLRU struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+}
+
+type lruItem struct {
+	key  string
+	data []byte
+}
+
+// newByteLRU returns a cache bounded by budget bytes; budget ≤ 0 yields
+// a nil cache, meaning "disabled".
+func newByteLRU(budget int64) *byteLRU {
+	if budget <= 0 {
+		return nil
+	}
+	return &byteLRU{budget: budget, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *byteLRU) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).data, true
+}
+
+func (c *byteLRU) put(key string, data []byte) {
+	if c == nil || int64(len(data)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el) // content-addressed: bytes are identical
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, data: data})
+	c.bytes += int64(len(data))
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		it := back.Value.(*lruItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		c.bytes -= int64(len(it.data))
+	}
+}
+
+func (c *byteLRU) drop(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*lruItem)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.bytes -= int64(len(it.data))
+	}
+}
+
+// latencyRing holds the last latencySamples successful fetch durations;
+// the adaptive hedger triggers at its p95.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [latencySamples]time.Duration
+	n       int // total observations (ring is full once n ≥ len)
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[r.n%latencySamples] = d
+	r.n++
+}
+
+// p95 returns the 95th-percentile observed latency, or 0 until
+// minLatencySamples observations have accumulated.
+func (r *latencyRing) p95() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if n > latencySamples {
+		n = latencySamples
+	}
+	if n < minLatencySamples {
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, r.samples[:n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(n*95)/100]
+}
+
+// shortID abbreviates a content address for error messages.
+func shortID(id store.ID) string {
+	if len(id) > 12 {
+		return string(id[:12])
+	}
+	return string(id)
+}

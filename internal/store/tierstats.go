@@ -1,0 +1,68 @@
+package store
+
+// TierStats is the counter snapshot a tiered (remote) backend reports:
+// chunk-level cache traffic, tail-latency hedging outcomes, transient
+// retries, and upload dedup. The repository surfaces it through Stats
+// and the HTTP layer forwards it on GET /stats, so a deployment can
+// watch the remote tier's amplification the same way it watches the
+// checkout cache.
+type TierStats struct {
+	// ChunkFetches counts logical chunk reads that went to the remote —
+	// near-tier misses. A hedged fetch is still ONE logical read.
+	ChunkFetches int64
+	// ChunkHits counts chunk reads served by the near-tier cache.
+	ChunkHits int64
+	// Hedged counts secondary (hedge) requests launched against slow
+	// fetches; HedgeWins counts fetches where that hedge returned first.
+	Hedged    int64
+	HedgeWins int64
+	// Retries counts transient-failure retries (5xx, torn responses,
+	// connection errors).
+	Retries int64
+	// ChunksStored / ChunksDeduped split uploads into chunks actually
+	// transferred and chunks skipped because the remote already had the
+	// content; BytesStored / BytesDeduped are the same split in bytes.
+	ChunksStored  int64
+	ChunksDeduped int64
+	BytesFetched  int64
+	BytesStored   int64
+	BytesDeduped  int64
+}
+
+// ChunkHitRatio returns near-tier hits / (hits + remote fetches), 0
+// before any chunk read.
+func (s TierStats) ChunkHitRatio() float64 {
+	total := s.ChunkHits + s.ChunkFetches
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ChunkHits) / float64(total)
+}
+
+// DedupRatio returns the fraction of uploaded bytes the remote already
+// held (0 before any upload) — how much the content-defined chunking
+// saved across the delta chain's near-identical blobs.
+func (s TierStats) DedupRatio() float64 {
+	total := s.BytesStored + s.BytesDeduped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BytesDeduped) / float64(total)
+}
+
+// TierStatsReporter is an optional Backend capability: remote tiers
+// expose their chunk/hedge/dedup counters through it. Local backends do
+// not implement it and the stats surfaces omit the section.
+type TierStatsReporter interface {
+	TierStats() TierStats
+}
+
+// CostReporter is an optional Backend capability: a backend whose
+// retrievals cost more (or less) than a local disk read reports the
+// multiplier, and the repository scales the cost model's Φ column by it
+// (see costs.TierCosts) so solvers and the WeightedPhi drift metric
+// price recreation where the blobs actually live. Factors ≤ 0 are
+// ignored; backends without the capability price as local (factor 1).
+type CostReporter interface {
+	RetrievalCostFactor() float64
+}

@@ -189,6 +189,35 @@ type StatsResponse struct {
 	// GC counters: sweeps run and orphan blobs collected since startup.
 	GCRuns      int64 `json:"gc_runs,omitempty"`
 	GCCollected int64 `json:"gc_collected,omitempty"`
+	// RetrievalFactor is the backend's per-read cost multiplier relative
+	// to a local disk read; WeightedPhi is already scaled by it. Omitted
+	// (meaning 1) for local backends.
+	RetrievalFactor float64 `json:"retrieval_factor,omitempty"`
+	// Remote reports the remote tier's chunk/hedge/dedup counters.
+	// Absent when the server runs on a local backend — and absent from
+	// servers predating the remote tier, which clients must tolerate.
+	Remote *RemoteTierStats `json:"remote,omitempty"`
+}
+
+// RemoteTierStats is the wire form of store.TierStats: the remote tier's
+// chunk cache traffic, tail-latency hedging outcomes, transient retries,
+// and upload dedup.
+type RemoteTierStats struct {
+	ChunkFetches int64 `json:"chunk_fetches"`
+	ChunkHits    int64 `json:"chunk_hits"`
+	// ChunkHitRatio is near-tier hits / (hits + remote fetches).
+	ChunkHitRatio float64 `json:"chunk_hit_ratio"`
+	Hedged        int64   `json:"hedged"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	Retries       int64   `json:"retries"`
+	ChunksStored  int64   `json:"chunks_stored"`
+	ChunksDeduped int64   `json:"chunks_deduped"`
+	BytesFetched  int64   `json:"bytes_fetched"`
+	BytesStored   int64   `json:"bytes_stored"`
+	BytesDeduped  int64   `json:"bytes_deduped"`
+	// DedupRatio is the fraction of uploaded bytes the remote already
+	// held.
+	DedupRatio float64 `json:"dedup_ratio"`
 }
 
 // GCResponse reports one mark-and-sweep pass over the blob store:

@@ -1,0 +1,107 @@
+package vcs
+
+// End-to-end remote-tier stats: a repository whose backend is the
+// chunked HTTP remote, served through the version-control HTTP layer,
+// reports the tier counters on GET /stats — and a client against an old
+// server that has never heard of them gets a nil section, not an error.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/store/remote"
+)
+
+func TestStatsReportsRemoteTier(t *testing.T) {
+	objSrv := remote.NewServer()
+	objTS := httptest.NewServer(objSrv.Handler())
+	defer objTS.Close()
+	backend := remote.New(objTS.URL, remote.Options{
+		HTTPClient:   objTS.Client(),
+		HedgeAfter:   -1,
+		RetryBackoff: time.Millisecond,
+	})
+	r, err := repo.InitBackend(backend)
+	if err != nil {
+		t.Fatalf("InitBackend: %v", err)
+	}
+	srv := httptest.NewServer(NewServer(r).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	base := "k,v\n"
+	for i := 0; i < 3; i++ {
+		base += fmt.Sprintf("r%d,%d\n", i, i)
+		if _, err := c.Commit(repo.DefaultBranch, []byte(base), "c"); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if _, err := c.Checkout(0); err != nil {
+		t.Fatalf("Checkout: %v", err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Remote == nil {
+		t.Fatal("StatsResponse.Remote is nil over a remote backend")
+	}
+	if st.Remote.ChunksStored == 0 {
+		t.Errorf("remote section shows no stored chunks despite commits")
+	}
+	want := backend.TierStats()
+	if st.Remote.ChunksStored != want.ChunksStored || st.Remote.BytesStored != want.BytesStored {
+		t.Errorf("wire counters %+v diverge from backend %+v", st.Remote, want)
+	}
+	if st.RetrievalFactor <= 1 {
+		t.Errorf("RetrievalFactor = %v, want the remote default > 1", st.RetrievalFactor)
+	}
+}
+
+// TestStatsOmitsRemoteTierLocally: a local backend yields no remote
+// section and no retrieval factor on the wire.
+func TestStatsOmitsRemoteTierLocally(t *testing.T) {
+	st, err := newClientServer(t).Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Remote != nil {
+		t.Errorf("StatsResponse.Remote = %+v over a local backend, want nil", st.Remote)
+	}
+	if st.RetrievalFactor != 0 {
+		t.Errorf("RetrievalFactor = %v on the wire for a local backend, want omitted", st.RetrievalFactor)
+	}
+}
+
+// TestClientToleratesOldServerStats: a server predating the remote-tier
+// fields answers /stats without them; the client must decode cleanly and
+// report a nil section.
+func TestClientToleratesOldServerStats(t *testing.T) {
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/stats" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"versions":2,"branches":1,"materialized":1,"stored_bytes":10,`+
+			`"logical_bytes":20,"max_chain_hops":1,"cache_hits":0,"cache_misses":0,`+
+			`"cache_hit_ratio":0,"cache_evictions":0,"cache_entries":0,"cache_bytes":0,`+
+			`"blob_reads":1,"accesses":2,"weighted_phi":15}`)
+	}))
+	defer old.Close()
+	st, err := NewClient(old.URL).Stats()
+	if err != nil {
+		t.Fatalf("Stats against old server: %v", err)
+	}
+	if st.Versions != 2 || st.WeightedPhi != 15 {
+		t.Errorf("old-server stats decoded wrong: %+v", st)
+	}
+	if st.Remote != nil || st.RetrievalFactor != 0 {
+		t.Errorf("old-server stats grew remote fields from nowhere: %+v", st)
+	}
+}

@@ -487,6 +487,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.LogTornTails = st.Log.TornTails
 	resp.GCRuns = st.GCRuns
 	resp.GCCollected = st.GCCollected
+	if st.RetrievalFactor != 1 {
+		resp.RetrievalFactor = st.RetrievalFactor
+	}
+	if st.Remote != nil {
+		resp.Remote = &RemoteTierStats{
+			ChunkFetches:  st.Remote.ChunkFetches,
+			ChunkHits:     st.Remote.ChunkHits,
+			ChunkHitRatio: st.Remote.ChunkHitRatio(),
+			Hedged:        st.Remote.Hedged,
+			HedgeWins:     st.Remote.HedgeWins,
+			Retries:       st.Remote.Retries,
+			ChunksStored:  st.Remote.ChunksStored,
+			ChunksDeduped: st.Remote.ChunksDeduped,
+			BytesFetched:  st.Remote.BytesFetched,
+			BytesStored:   st.Remote.BytesStored,
+			BytesDeduped:  st.Remote.BytesDeduped,
+			DedupRatio:    st.Remote.DedupRatio(),
+		}
+	}
 	resp.CacheHitRatio = store.CacheStats{Hits: st.CacheHits, Misses: st.CacheMisses}.HitRatio()
 	for _, h := range s.repo.HotVersions(hotListSize) {
 		resp.Hot = append(resp.Hot, HotVersion{ID: h.Version, Count: h.Count})

@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"versiondb/internal/bench"
 	"versiondb/internal/repo"
 	"versiondb/internal/store"
 	"versiondb/internal/store/remote"
@@ -326,6 +327,42 @@ func BenchmarkRemoteTieredCheckout(b *testing.B) {
 			"hedge_wins/op":    float64(st.HedgeWins-start.HedgeWins) / float64(b.N),
 		})
 	})
+}
+
+// BenchmarkReplicaScaleOut measures horizontal read scale-out: the same
+// Zipf checkout workload served through the vmsproxy consistent-hash
+// router at 1, 2, and 4 metalog-tailing replicas, each with the same
+// per-replica cache budget. Scale-out pays because adding replicas adds
+// aggregate cache: the hot set thrashes one replica's LRU but fits across
+// two. The 2-vs-1 throughput ratio is asserted ≥ 1.6×, so the scaling
+// property is CI-enforced alongside the recorded trajectory.
+func BenchmarkReplicaScaleOut(b *testing.B) {
+	sc := bench.DefaultReplicaScale()
+	tput := map[int]float64{}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			var row bench.ReplicaRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = bench.ReplicasOne(sc, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			tput[n] = row.Throughput
+			recordServing(b, map[string]float64{
+				"throughput_rps": row.Throughput,
+				"p50_ms":         float64(row.P50) / float64(time.Millisecond),
+				"p99_ms":         float64(row.P99) / float64(time.Millisecond),
+				"hit_ratio":      row.HitRatio,
+				"replica_share":  row.ReplicaShare,
+			})
+		})
+	}
+	if ratio := tput[2] / tput[1]; ratio < 1.6 {
+		b.Fatalf("2 replicas serve only %.2fx the checkout throughput of 1 (want ≥ 1.6x): %.0f vs %.0f rps",
+			ratio, tput[2], tput[1])
+	}
 }
 
 // bigChainRepo commits versions in a line where every payload is rows

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vbench -exp solvers|fig12|fig13|fig14|fig15|fig16|fig17|table2|svn-git|physical|autotune|all \
+//	vbench -exp solvers|fig12|fig13|fig14|fig15|fig16|fig17|table2|svn-git|physical|autotune|replicas|all \
 //	       [-scale full|test] [-seed N] [-points K]
 //
 // The solvers experiment prints the live solver registry (name → paper
@@ -13,7 +13,10 @@
 // the serving loop: it drives a skewed checkout workload through a live
 // repository and compares the unweighted layout against one laid out with
 // telemetry-derived weights, reporting the weighted recreation cost Φ_w
-// each would serve.
+// each would serve. The replicas experiment measures horizontal read
+// scale-out: the same Zipf checkout workload served through the vmsproxy
+// consistent-hash router at 1, 2, and 4 metalog-tailing replicas,
+// reporting aggregate throughput and p50/p99 latency.
 package main
 
 import (
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: solvers, fig12, fig13, fig14, fig15, fig16, fig17, table2, svn-git, physical, autotune, all")
+	exp := flag.String("exp", "all", "experiment: solvers, fig12, fig13, fig14, fig15, fig16, fig17, table2, svn-git, physical, autotune, replicas, all")
 	scaleName := flag.String("scale", "full", "dataset scale: full or test")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	points := flag.Int("points", 0, "points per tradeoff curve (0 = default)")
@@ -187,6 +190,20 @@ func run(exp string, scale bench.Scale, csvDir string) error {
 			if err := writeCSV(csvDir, name, func(w *os.File) error { return bench.WriteAutotuneCSV(w, rows) }); err != nil {
 				return err
 			}
+		case "replicas":
+			rs := bench.DefaultReplicaScale()
+			if scale.DC < 1000 {
+				rs = bench.TestReplicaScale()
+			}
+			rs.Seed = scale.Seed
+			rows, err := bench.Replicas(rs)
+			if err != nil {
+				return err
+			}
+			bench.FormatReplicas(out, rows)
+			if err := writeCSV(csvDir, name, func(w *os.File) error { return bench.WriteReplicasCSV(w, rows) }); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -195,7 +212,7 @@ func run(exp string, scale bench.Scale, csvDir string) error {
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"solvers", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "svn-git", "physical", "autotune"} {
+		for _, name := range []string{"solvers", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table2", "svn-git", "physical", "autotune", "replicas"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

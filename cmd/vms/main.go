@@ -403,6 +403,12 @@ func runRemote(c *vcs.Client, cmd string, args []string) error {
 					a.LastJobID, a.LastTrigger, a.LastOutcome, a.LastError)
 			}
 		}
+		// Primaries omit the replica section; it only prints when the
+		// server is a read-only follower.
+		if rep := st.Replica; rep != nil {
+			fmt.Printf("replica: applied=%d lag=%d lastApplyUnix=%d\n",
+				rep.AppliedOffset, rep.LagRecords, rep.LastApplyUnix)
+		}
 	case "optimize":
 		wire, async, err := parseOptimizeFlags(args)
 		if err != nil {

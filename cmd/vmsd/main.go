@@ -8,6 +8,7 @@
 //	     [-cache N] [-cache-bytes B] [-jobs N]
 //	     [-autotune] [-autotune-interval D] [-autotune-commits N]
 //	     [-autotune-drift F] [-autotune-solver S]
+//	     [-replica-of PRIMARY_URL]
 //
 // The -backend flag selects the physical store: "fs" (default) persists
 // loose objects and packfiles under -dir; "mem" serves a fresh
@@ -36,9 +37,19 @@
 // landed or the weighted cost has drifted by the -autotune-drift fraction.
 // Auto jobs are ordinary background jobs: they appear in GET /jobs, and
 // GET /stats carries the engine's trigger inputs and last outcome.
+//
+// -replica-of PRIMARY_URL starts the server as a read-only replica: it
+// follows the primary's metadata log over GET /log?from= (long-polled) and
+// serves checkouts against the shared blob backend, which must be the same
+// storage the primary writes — the same -dir on a shared filesystem, or
+// the same -remote-url object server. Replicas reject every write with
+// 403, never persist anything, and report their replay cursor in GET
+// /stats under "replica". Put a vmsproxy in front of the fleet to route
+// checkouts by chain root and writes to the primary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +57,7 @@ import (
 	"time"
 
 	"versiondb/internal/autotune"
+	"versiondb/internal/replication"
 	"versiondb/internal/repo"
 	"versiondb/internal/store"
 	"versiondb/internal/store/remote"
@@ -68,6 +80,7 @@ func main() {
 	tuneCommits := flag.Int("autotune-commits", 16, "re-layout after this many commits (0 disables the commit trigger)")
 	tuneDrift := flag.Float64("autotune-drift", 0.25, "re-layout when weighted Φ drifts by this fraction (0 disables the drift trigger)")
 	tuneSolver := flag.String("autotune-solver", "lmg", "registry solver auto re-layouts run")
+	replicaOf := flag.String("replica-of", "", "primary URL: serve as a read-only replica following its metadata log")
 	flag.Parse()
 	var (
 		r   *repo.Repo
@@ -81,12 +94,23 @@ func main() {
 		if *dir == "" {
 			log.Fatal("vmsd: -dir is required with -backend fs")
 		}
-		if *doInit {
+		switch {
+		case *replicaOf != "":
+			var s store.Backend
+			if s, err = store.Open(*dir); err == nil {
+				r, err = repo.OpenReplica(s)
+			}
+		case *doInit:
 			r, err = repo.Init(*dir)
-		} else {
+		default:
 			r, err = repo.Open(*dir)
 		}
 	case "mem":
+		if *replicaOf != "" {
+			// A replica must read the primary's blobs; a private in-memory
+			// store shares nothing.
+			log.Fatal("vmsd: -replica-of needs shared storage (-backend fs or remote)")
+		}
 		r, err = repo.InitBackend(store.NewMemStore())
 	case "remote":
 		if *remoteURL == "" {
@@ -96,9 +120,12 @@ func main() {
 			CacheBytes: *remoteCacheBytes,
 			HedgeAfter: *hedgeAfter,
 		})
-		if *doInit {
+		switch {
+		case *replicaOf != "":
+			r, err = repo.OpenReplica(client)
+		case *doInit:
 			r, err = repo.InitBackend(client)
-		} else {
+		default:
 			r, err = repo.OpenBackend(client)
 		}
 	default:
@@ -123,9 +150,25 @@ func main() {
 			Solver:          *tuneSolver,
 		}))
 	}
+	if *replicaOf != "" {
+		follower := replication.NewFollower(r, vcs.NewClient(*replicaOf))
+		// Catch up once before serving, so the replica does not answer 404
+		// for the primary's whole history while the first poll is in
+		// flight; a primary that is briefly down is not fatal — the
+		// background loop keeps retrying.
+		if _, err := follower.Sync(context.Background(), false); err != nil {
+			log.Printf("vmsd: initial sync from %s: %v (retrying in background)", *replicaOf, err)
+		}
+		go func() { _ = follower.Run(context.Background()) }()
+		opts = append(opts, vcs.WithReplicaStatus(follower.Status))
+	}
 	srv := vcs.NewServer(r, opts...)
-	fmt.Printf("vmsd: serving %s backend on %s (%d versions, %s, autotune %v)\n",
-		*backend, *addr, r.NumVersions(), cacheDesc, *tune)
+	role := "serving"
+	if *replicaOf != "" {
+		role = "replica of " + *replicaOf + ","
+	}
+	fmt.Printf("vmsd: %s %s backend on %s (%d versions, %s, autotune %v)\n",
+		role, *backend, *addr, r.NumVersions(), cacheDesc, *tune)
 	// ListenAndServe only ever returns an error; stop the autotune loop,
 	// cancel background jobs and wait for them before exiting (log.Fatal
 	// would skip defers).

@@ -1,0 +1,61 @@
+// Command vmsproxy is the thin routing gateway in front of a vmsd primary
+// and its replicas: one stable address for clients while the fleet scales.
+//
+// Usage:
+//
+//	vmsproxy -primary http://primary:7420 \
+//	         [-replicas http://r1:7421,http://r2:7422] [-addr :7430]
+//
+// GET /checkout and GET /checkout/raw are routed by the version's
+// delta-chain root over a consistent-hash ring of replicas, so each
+// replica's checkout cache converges on whole chain prefixes instead of
+// every replica caching a little of everything. All writes (/commit,
+// /branch, /optimize, /gc, job control) and reads of versions not yet
+// visible in the proxy's routing view forward to the primary — a commit
+// acknowledged by the primary is immediately readable through the proxy,
+// whatever the replica lag. A replica answering 404 or 5xx is retried
+// against the primary, so a lagging or dead replica degrades to primary
+// service, not errors. With no -replicas every request passes through to
+// the primary.
+//
+// The proxy keeps its routing view fresh by following the primary's
+// metadata log (GET /log?from=, long-polled) into a metadata-only replica;
+// it stores no blobs and serves no state of its own.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"versiondb/internal/replication"
+)
+
+func main() {
+	addr := flag.String("addr", ":7430", "listen address")
+	primary := flag.String("primary", "", "primary vmsd URL (required)")
+	replicas := flag.String("replicas", "", "comma-separated replica vmsd URLs")
+	flag.Parse()
+	if *primary == "" {
+		log.Fatal("vmsproxy: -primary is required")
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := replication.NewRouter(*primary, urls)
+	if err != nil {
+		log.Fatalf("vmsproxy: %v", err)
+	}
+	if err := rt.Sync(context.Background()); err != nil {
+		log.Printf("vmsproxy: initial sync from %s: %v (retrying in background)", *primary, err)
+	}
+	go func() { _ = rt.Run(context.Background()) }()
+	fmt.Printf("vmsproxy: routing on %s (primary %s, %d replicas)\n", *addr, *primary, len(urls))
+	log.Fatal(http.ListenAndServe(*addr, rt.Handler()))
+}

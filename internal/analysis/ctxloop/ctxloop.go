@@ -18,10 +18,12 @@ import (
 // Packages limits the analyzer to the packages whose loops carry the
 // contract.
 var Packages = map[string]bool{
-	"versiondb/internal/solve":        true,
-	"versiondb/internal/delta":        true,
-	"versiondb/internal/store":        true,
-	"versiondb/internal/store/remote": true,
+	"versiondb/internal/solve":         true,
+	"versiondb/internal/delta":         true,
+	"versiondb/internal/store":         true,
+	"versiondb/internal/store/remote":  true,
+	"versiondb/internal/store/metalog": true,
+	"versiondb/internal/replication":   true,
 }
 
 // IOPackages are the stdlib packages whose calls count as I/O.

@@ -22,6 +22,7 @@ import (
 // held lock has a strictly lower rank.
 var Ranks = map[string]int{
 	"versiondb/internal/autotune.Engine.mu":          0,
+	"versiondb/internal/replication.Follower.mu":     5,
 	"versiondb/internal/jobs.Manager.mu":             10,
 	"versiondb/internal/repo.Repo.optMu":             20,
 	"versiondb/internal/repo.Repo.mu":                30,

@@ -39,7 +39,7 @@ func swapConfig(ranks map[string]int, noIO, blob map[string]bool) func() {
 // rank, so a new lock cannot be added without placing it in the
 // hierarchy.
 func TestRankTableComplete(t *testing.T) {
-	for _, pkg := range []string{"repo", "store", "store/metalog", "store/faultfs", "store/remote", "jobs", "autotune"} {
+	for _, pkg := range []string{"repo", "store", "store/metalog", "store/faultfs", "store/remote", "jobs", "autotune", "replication"} {
 		dir := filepath.Join("..", "..", pkg)
 		for _, id := range mutexFields(t, dir, "versiondb/internal/"+pkg) {
 			if _, ok := lockorder.Ranks[id]; !ok {

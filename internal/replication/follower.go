@@ -1,0 +1,147 @@
+// Package replication turns one writable repository into a serving fleet:
+// a primary owns commits, Optimize and GC, while read-only replicas follow
+// the primary's metadata log over GET /log?from= and apply each record to
+// their live state — the same record semantics startup recovery uses, so a
+// replica's view is always a whole-record prefix of the primary's history.
+// Blobs are never replicated: every repository shares one content-addressed
+// backend, and a replica materializes checkout payloads against it on
+// demand. A Router in front of the fleet routes each checkout by the
+// version's delta-chain root over a consistent-hash ring, so one replica's
+// byte-budget cache holds whole chain prefixes instead of every replica
+// paying for a partial copy; writes and not-yet-replicated reads go to the
+// primary, which preserves read-your-writes through the proxy.
+package replication
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/store/metalog"
+	"versiondb/internal/vcs"
+)
+
+// Source is the follower's view of a primary: the metadata-log tail past a
+// cursor, optionally long-polled. *vcs.Client satisfies it.
+type Source interface {
+	LogTail(ctx context.Context, from uint64, wait bool) (*vcs.LogTailResponse, error)
+}
+
+// retryBackoff paces Run's retries after a failed sync round, so a
+// restarting primary sees polls, not a stampede.
+const retryBackoff = 250 * time.Millisecond
+
+// Follower tails a primary's metadata log into an open replica repository:
+// each Sync round fetches the records past the replica's cursor and folds
+// them into live state, bootstrapping from the primary's compaction
+// snapshot when the cursor predates it. Run loops Sync with long-polling
+// until its context is done.
+type Follower struct {
+	src Source
+	rep *repo.Repo
+
+	// mu guards the sync telemetry below. It is never held across a
+	// Source call or a repository apply (rank 5 in the lock table).
+	mu      sync.Mutex
+	head    uint64 // primary's last sequence at the last successful round
+	synced  bool   // at least one successful round completed
+	lastErr error  // outcome of the most recent round
+}
+
+// NewFollower wires a follower that applies src's log tail to the replica
+// repository rep (which must have been opened with repo.OpenReplica).
+func NewFollower(rep *repo.Repo, src Source) *Follower {
+	return &Follower{src: src, rep: rep}
+}
+
+// Sync performs one fetch-and-apply round and reports how many records it
+// applied. With wait set the fetch long-polls server-side, so a caught-up
+// follower blocks until the primary appends or the poll times out (an
+// empty round is a normal answer). A cursor ahead of the primary's head —
+// a rebuilt primary with shorter history — triggers a full resync from
+// sequence zero.
+func (f *Follower) Sync(ctx context.Context, wait bool) (int, error) {
+	applied, _, _ := f.rep.ReplicaStatus()
+	view, err := f.src.LogTail(ctx, applied, wait)
+	if err != nil {
+		f.note(0, false, err)
+		return 0, err
+	}
+	if view.Snapshot == nil && view.Head < applied {
+		if view, err = f.src.LogTail(ctx, 0, false); err != nil {
+			f.note(0, false, err)
+			return 0, err
+		}
+	}
+	if view.Snapshot != nil {
+		if err := f.rep.ApplySnapshot(view.Snapshot, view.BaseSeq); err != nil {
+			f.note(view.Head, false, err)
+			return 0, err
+		}
+	}
+	recs := make([]metalog.Record, 0, len(view.Records))
+	for _, rec := range view.Records {
+		recs = append(recs, metalog.Record{Seq: rec.Seq, Type: metalog.Type(rec.Type), Data: rec.Data})
+	}
+	n, err := f.rep.ApplyRecords(recs)
+	f.note(view.Head, err == nil, err)
+	return n, err
+}
+
+// note records one round's outcome under mu.
+func (f *Follower) note(head uint64, ok bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if head > 0 || ok {
+		f.head = head
+	}
+	if ok {
+		f.synced = true
+	}
+	f.lastErr = err
+}
+
+// Run follows the primary's tail until ctx is done, long-polling when
+// caught up and backing off briefly after errors. It always returns ctx's
+// error; transient fetch and apply failures are retried, not fatal.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if _, err := f.Sync(ctx, true); err != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retryBackoff):
+			}
+		}
+	}
+}
+
+// Status reports the replica's staleness for GET /stats: the applied
+// sequence, how many records the primary was ahead at the last successful
+// round (-1 before any successful round — lag unknown), and when the
+// replica last applied a batch.
+func (f *Follower) Status() (applied uint64, lag int64, lastApply time.Time) {
+	applied, lastApply, _ = f.rep.ReplicaStatus()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.synced {
+		return applied, -1, lastApply
+	}
+	lag = int64(f.head) - int64(applied)
+	if lag < 0 {
+		lag = 0
+	}
+	return applied, lag, lastApply
+}
+
+// Err returns the outcome of the most recent sync round (nil when it
+// succeeded or no round has run).
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}

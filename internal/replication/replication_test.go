@@ -1,0 +1,224 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/store"
+	"versiondb/internal/vcs"
+)
+
+// fleet is one primary plus N replicas over a shared in-memory backend,
+// fronted by a router — the whole serving topology in-process.
+type fleet struct {
+	shared   *store.MemStore
+	primary  *repo.Repo
+	primaryS *httptest.Server
+	replicas []*repo.Repo
+	reps     []*httptest.Server
+	router   *Router
+	proxy    *httptest.Server
+}
+
+func newFleet(t *testing.T, nReplicas int, runFollowers bool) *fleet {
+	t.Helper()
+	fl := &fleet{shared: store.NewMemStore()}
+	var err error
+	if fl.primary, err = repo.InitBackend(fl.shared); err != nil {
+		t.Fatalf("InitBackend: %v", err)
+	}
+	psrv := vcs.NewServer(fl.primary)
+	t.Cleanup(psrv.Close)
+	fl.primaryS = httptest.NewServer(psrv.Handler())
+	t.Cleanup(fl.primaryS.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	var urls []string
+	for i := 0; i < nReplicas; i++ {
+		rep, err := repo.OpenReplica(fl.shared)
+		if err != nil {
+			t.Fatalf("OpenReplica: %v", err)
+		}
+		rep.EnableCacheBytes(1 << 20)
+		f := NewFollower(rep, vcs.NewClient(fl.primaryS.URL))
+		if runFollowers {
+			go func() { _ = f.Run(ctx) }()
+		} else if _, err := f.Sync(ctx, false); err != nil {
+			t.Fatalf("replica %d sync: %v", i, err)
+		}
+		rsrv := vcs.NewServer(rep, vcs.WithReplicaStatus(f.Status))
+		t.Cleanup(rsrv.Close)
+		ts := httptest.NewServer(rsrv.Handler())
+		t.Cleanup(ts.Close)
+		fl.replicas = append(fl.replicas, rep)
+		fl.reps = append(fl.reps, ts)
+		urls = append(urls, ts.URL)
+	}
+
+	if fl.router, err = NewRouter(fl.primaryS.URL, urls); err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	if runFollowers {
+		go func() { _ = fl.router.Run(ctx) }()
+	}
+	fl.proxy = httptest.NewServer(fl.router.Handler())
+	t.Cleanup(fl.proxy.Close)
+	return fl
+}
+
+// TestMultiReplicaE2E is the acceptance e2e: 1 primary + 2 replicas, all
+// followers running. A commit through the proxy is immediately readable
+// through the proxy (read-your-writes via the primary), and both replicas
+// converge to serving it directly (bounded staleness). Run with -race.
+func TestMultiReplicaE2E(t *testing.T) {
+	fl := newFleet(t, 2, true)
+	c := vcs.NewClient(fl.proxy.URL)
+
+	var ids []int
+	var payloads [][]byte
+	for i := 0; i < 6; i++ {
+		p := []byte(fmt.Sprintf("payload-%d-%s", i, bytes.Repeat([]byte("x"), 512)))
+		id, err := c.Commit(repo.DefaultBranch, p, fmt.Sprintf("c%d", i))
+		if err != nil {
+			t.Fatalf("commit %d through proxy: %v", i, err)
+		}
+		// Read-your-writes: the commit was just acknowledged; the proxy
+		// must serve it now, however stale the replicas are.
+		got, err := c.Checkout(id)
+		if err != nil {
+			t.Fatalf("checkout %d through proxy right after commit: %v", id, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("read-your-writes returned wrong payload for %d", id)
+		}
+		ids = append(ids, id)
+		payloads = append(payloads, p)
+	}
+
+	// Bounded staleness: both replicas converge to serving the last
+	// version directly (not through the proxy).
+	last := ids[len(ids)-1]
+	for i, ts := range fl.reps {
+		rc := vcs.NewClient(ts.URL)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			got, err := rc.Checkout(last)
+			if err == nil {
+				if !bytes.Equal(got, payloads[len(payloads)-1]) {
+					t.Fatalf("replica %d serves wrong payload for %d", i, last)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d did not converge to version %d: %v", i, last, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Staleness observability: replicas report a replica stats section,
+	// the primary omits it.
+	for i, ts := range fl.reps {
+		st, err := vcs.NewClient(ts.URL).Stats()
+		if err != nil {
+			t.Fatalf("replica %d stats: %v", i, err)
+		}
+		if st.Replica == nil {
+			t.Fatalf("replica %d stats has no replica section", i)
+		}
+		if st.Replica.AppliedOffset == 0 {
+			t.Fatalf("replica %d reports applied_offset 0 after convergence", i)
+		}
+		if st.Replica.LastApplyUnix == 0 {
+			t.Fatalf("replica %d reports last_apply_unix 0 after convergence", i)
+		}
+	}
+	pst, err := vcs.NewClient(fl.primaryS.URL).Stats()
+	if err != nil {
+		t.Fatalf("primary stats: %v", err)
+	}
+	if pst.Replica != nil {
+		t.Fatalf("primary stats carries a replica section: %+v", pst.Replica)
+	}
+
+	// Writes against a replica are rejected as read-only (403).
+	if _, err := vcs.NewClient(fl.reps[0].URL).Commit(repo.DefaultBranch, []byte("nope"), "x"); err == nil {
+		t.Fatal("replica accepted a commit")
+	}
+}
+
+// TestRouterFallbackToPrimary: when the routing view knows a version but
+// the owning replica is still behind, the proxy retries the checkout
+// against the primary instead of surfacing the replica's 404.
+func TestRouterFallbackToPrimary(t *testing.T) {
+	fl := newFleet(t, 2, false) // followers NOT running: replicas stay stale
+	c := vcs.NewClient(fl.proxy.URL)
+
+	id, err := c.Commit(repo.DefaultBranch, []byte("fallback-payload"), "c")
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// Catch the routing view up so the checkout routes to a replica —
+	// which has not applied the commit and answers 404.
+	if err := fl.router.Sync(context.Background()); err != nil {
+		t.Fatalf("router sync: %v", err)
+	}
+	got, err := c.Checkout(id)
+	if err != nil {
+		t.Fatalf("checkout through proxy with stale replicas: %v", err)
+	}
+	if string(got) != "fallback-payload" {
+		t.Fatalf("fallback returned wrong payload: %q", got)
+	}
+	_, replica, fallbacks := fl.router.RouteCounts()
+	if replica == 0 || fallbacks == 0 {
+		t.Fatalf("expected a replica route with a primary fallback, got replica=%d fallbacks=%d",
+			replica, fallbacks)
+	}
+}
+
+// TestRingDistributionAndStability: every node owns a meaningful share of
+// the keyspace, and removing one node only remaps the keys it owned.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"http://r1", "http://r2", "http://r3", "http://r4"}
+	r := newRing(nodes)
+	const keys = 10000
+	counts := map[string]int{}
+	owner := make([]string, keys)
+	for k := 0; k < keys; k++ {
+		n := r.pick(rootKey(k))
+		counts[n]++
+		owner[k] = n
+	}
+	for _, n := range nodes {
+		if counts[n] < keys/len(nodes)/3 {
+			t.Errorf("node %s owns only %d of %d keys — ring badly imbalanced", n, counts[n], keys)
+		}
+	}
+	// Drop r4: keys owned by the others must not move.
+	r3 := newRing(nodes[:3])
+	moved := 0
+	for k := 0; k < keys; k++ {
+		if owner[k] == "http://r4" {
+			continue
+		}
+		if got := r3.pick(rootKey(k)); got != owner[k] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving nodes remapped when r4 left", moved)
+	}
+	if r.pick(rootKey(1)) != r.pick(rootKey(1)) {
+		t.Error("pick is not deterministic")
+	}
+	if (&ring{}).pick(42) != "" {
+		t.Error("empty ring should pick nothing")
+	}
+}

@@ -1,0 +1,77 @@
+// Consistent-hash ring over replica names. Each node contributes vnodes
+// points on a 64-bit circle; a key is served by the first point at or
+// after its hash. Adding or removing one replica remaps only the keys on
+// the arcs that node owned (~1/N of the space), so a fleet change does not
+// reshuffle every replica's cache.
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many points each node contributes. More points smooth
+// the per-node share of the keyspace (the standard deviation shrinks as
+// 1/√vnodes); 64 keeps the imbalance under a few percent for small fleets
+// while the ring stays tiny.
+const ringVnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node int // index into ring.names
+}
+
+type ring struct {
+	points []ringPoint
+	names  []string
+}
+
+// newRing builds the ring over the given node names. Order does not
+// matter: placement depends only on each name's hash.
+func newRing(names []string) *ring {
+	r := &ring{names: names}
+	for n, name := range names {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", name, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// pick returns the node owning key's arc, "" for an empty ring.
+func (r *ring) pick(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wraparound: keys past the last point belong to the first
+	}
+	return r.names[r.points[i].node]
+}
+
+// rootKey hashes a chain-root version id onto the ring's keyspace.
+func rootKey(root int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(root))
+	return hash64(string(buf[:]))
+}
+
+// hash64 is FNV-64a with an avalanche finalizer. Raw FNV over inputs that
+// differ only in a trailing counter leaves the points badly clustered on
+// the circle (a 10× per-node imbalance in practice); the multiply-xor
+// finalizer (the 64-bit murmur3 one) spreads them uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,147 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"versiondb/internal/repo"
+	"versiondb/internal/store"
+	"versiondb/internal/store/faultfs"
+	"versiondb/internal/vcs"
+)
+
+// TestTornTailFollow: a replica polling GET /log while the primary's last
+// append tore at the device must not apply the torn record — the primary
+// serves only whole durable records — and once the primary recovers and
+// completes the append, the replica fetches and applies it cleanly.
+//
+// The crash point is found recovery-property-test style: a clean rehearsal
+// learns the second commit's durable-write footprint, then crash budgets
+// sweep down from one byte short of it. Budgets near the top land in the
+// commit's trailing best-effort telemetry append (whose error Commit
+// swallows); the first budget that makes Commit itself fail tears the
+// commit record proper, which is the frame the replica must never see.
+func TestTornTailFollow(t *testing.T) {
+	p0 := bytes.Repeat([]byte("base-payload-"), 64)
+	p1 := bytes.Repeat([]byte("torn-payload-"), 64)
+
+	dry := faultfs.Wrap(store.NewMemStore())
+	rdry, err := repo.InitBackend(dry)
+	if err != nil {
+		t.Fatalf("rehearsal init: %v", err)
+	}
+	if _, err := rdry.Commit(repo.DefaultBranch, p0, "c0"); err != nil {
+		t.Fatalf("rehearsal commit 0: %v", err)
+	}
+	w0 := dry.BytesWritten()
+	if _, err := rdry.Commit(repo.DefaultBranch, p1, "c1"); err != nil {
+		t.Fatalf("rehearsal commit 1: %v", err)
+	}
+	delta := dry.BytesWritten() - w0
+
+	// The sweep only needs to cross the small telemetry record at the
+	// tail; 256 bytes of headroom is far more than its frame.
+	for budget := delta - 1; budget > delta-256 && budget > 0; budget-- {
+		if tornTailFollowAttempt(t, budget, p0, p1) {
+			return
+		}
+	}
+	t.Fatalf("no crash budget below %d tore the commit record", delta)
+}
+
+// tornTailFollowAttempt builds a fresh primary+replica topology, cuts the
+// power after budget durable bytes of the second commit, and — when the
+// cut tears the commit record (Commit fails) — runs the follow-the-tail
+// assertions and reports true. A false return means the cut landed in the
+// swallowed telemetry append; the caller retries with a smaller budget.
+func tornTailFollowAttempt(t *testing.T, budget int64, p0, p1 []byte) bool {
+	t.Helper()
+
+	inner := store.NewMemStore()
+	ffs := faultfs.Wrap(inner)
+	primary, err := repo.InitBackend(ffs)
+	if err != nil {
+		t.Fatalf("InitBackend: %v", err)
+	}
+	psrv := vcs.NewServer(primary)
+	ts := httptest.NewServer(psrv.Handler())
+
+	if _, err := primary.Commit(repo.DefaultBranch, p0, "c0"); err != nil {
+		t.Fatalf("commit 0: %v", err)
+	}
+	rep, err := repo.OpenReplica(inner)
+	if err != nil {
+		t.Fatalf("OpenReplica: %v", err)
+	}
+	f := NewFollower(rep, vcs.NewClient(ts.URL))
+	if _, err := f.Sync(context.Background(), false); err != nil {
+		t.Fatalf("initial sync: %v", err)
+	}
+	if got := rep.NumVersions(); got != 1 {
+		t.Fatalf("replica has %d versions after initial sync, want 1", got)
+	}
+
+	ffs.SetCrashAfter(budget)
+	_, commitErr := primary.Commit(repo.DefaultBranch, p1, "c1")
+	ffs.Disarm()
+	if commitErr == nil {
+		// The cut missed the commit record (it landed in the trailing
+		// telemetry append, whose failure Commit absorbs). Tear down and
+		// let the caller aim earlier.
+		ts.Close()
+		psrv.Close()
+		_ = primary.Close()
+		return false
+	}
+
+	// The replica polls across the torn tail: the torn record must not be
+	// served, let alone applied.
+	if _, err := f.Sync(context.Background(), false); err != nil {
+		t.Fatalf("sync across torn tail: %v", err)
+	}
+	if got := rep.NumVersions(); got != 1 {
+		t.Fatalf("replica applied a torn record: %d versions, want 1", got)
+	}
+
+	// The primary reboots: recovery repairs the torn tail, and the commit
+	// is re-issued and completes.
+	ts.Close()
+	psrv.Close()
+	if err := primary.Close(); err != nil {
+		t.Fatalf("primary close: %v", err)
+	}
+	primary2, err := repo.OpenBackend(ffs)
+	if err != nil {
+		t.Fatalf("reopen primary: %v", err)
+	}
+	if torn := primary2.Stats().Log.TornTails; torn != 1 {
+		t.Fatalf("recovery found %d torn tails, want 1 — the cut missed the log append", torn)
+	}
+	id, err := primary2.Commit(repo.DefaultBranch, p1, "c1")
+	if err != nil {
+		t.Fatalf("re-commit: %v", err)
+	}
+	psrv2 := vcs.NewServer(primary2)
+	defer psrv2.Close()
+	ts2 := httptest.NewServer(psrv2.Handler())
+	defer ts2.Close()
+
+	// The replica re-fetches cleanly and applies the completed append.
+	f2 := NewFollower(rep, vcs.NewClient(ts2.URL))
+	if _, err := f2.Sync(context.Background(), false); err != nil {
+		t.Fatalf("sync after repair: %v", err)
+	}
+	if got := rep.NumVersions(); got != 2 {
+		t.Fatalf("replica has %d versions after repair, want 2", got)
+	}
+	got, err := rep.Checkout(id)
+	if err != nil {
+		t.Fatalf("replica checkout %d: %v", id, err)
+	}
+	if !bytes.Equal(got, p1) {
+		t.Fatalf("replica serves wrong payload for the completed append")
+	}
+	return true
+}

@@ -147,6 +147,14 @@ type Repo struct {
 	// blobs they deleted.
 	gcRuns      atomic.Int64
 	gcCollected atomic.Int64
+
+	// replica marks a read-only follower (see OpenReplica): every mutating
+	// entry point answers ErrReplica and nothing is ever persisted.
+	// appliedSeq / lastApply (guarded by mu) are the replay cursor —
+	// the last metadata-log sequence folded in and when.
+	replica    bool
+	appliedSeq uint64
+	lastApply  time.Time
 }
 
 // DefaultBranch is the branch created by Init.
@@ -393,8 +401,13 @@ func (r *Repo) BlobReads() int64 {
 // save persists meta and layout; callers hold the write lock (or have
 // exclusive access during construction). In log mode the only way to
 // persist arbitrary in-memory edits (as opposed to incremental records)
-// is a full snapshot, so save compacts.
+// is a full snapshot, so save compacts. On a replica save is a no-op:
+// the primary owns every document on the shared backend, and a replica
+// writing meta.json would clobber it.
 func (r *Repo) save() error {
+	if r.replica {
+		return nil
+	}
 	if r.log != nil {
 		return r.compact()
 	}
@@ -456,6 +469,9 @@ func (r *Repo) Log() []VersionInfo {
 // against their parent when that is smaller than the payload; Optimize can
 // later re-lay-out everything globally.
 func (r *Repo) Commit(branch string, payload []byte, message string) (int, error) {
+	if err := r.writable(); err != nil {
+		return 0, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var parents []int
@@ -472,6 +488,9 @@ func (r *Repo) Commit(branch string, payload []byte, message string) (int, error
 // result: "unlike traditional VCS ... we let the user perform the merge and
 // notify the system by creating a version with more than one parent."
 func (r *Repo) Merge(branch string, other int, payload []byte, message string) (int, error) {
+	if err := r.writable(); err != nil {
+		return 0, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	tip, ok := r.meta.Branches[branch]
@@ -489,6 +508,9 @@ func (r *Repo) Merge(branch string, other int, payload []byte, message string) (
 
 // Branch creates a new branch pointing at version from.
 func (r *Repo) Branch(name string, from int) error {
+	if err := r.writable(); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, exists := r.meta.Branches[name]; exists {
@@ -570,6 +592,9 @@ func (r *Repo) addVersionLocked(branch string, payload []byte, message string, p
 // Repack migrates loose blobs into a single packfile (git-repack style,
 // §5.2); checkouts are unaffected. Only filesystem backends pack.
 func (r *Repo) Repack() (string, error) {
+	if err := r.writable(); err != nil {
+		return "", err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	type repacker interface{ Repack() (string, error) }
@@ -769,8 +794,14 @@ func (r *Repo) retrievalFactor() float64 {
 }
 
 // AccessStats exposes the repository's access telemetry (counters with
-// exponential decay; see store.AccessStats). It is safe for concurrent use.
-func (r *Repo) AccessStats() *store.AccessStats { return r.stats }
+// exponential decay; see store.AccessStats). It is safe for concurrent
+// use. The pointer is read under the lock because a replica's snapshot
+// reset replaces the whole structure.
+func (r *Repo) AccessStats() *store.AccessStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stats
+}
 
 // Weights derives normalized per-version access weights from the telemetry
 // for the repository's current version count: decayed counters, Laplace
@@ -779,13 +810,19 @@ func (r *Repo) AccessStats() *store.AccessStats { return r.stats }
 func (r *Repo) Weights() []float64 {
 	r.mu.RLock()
 	n := len(r.meta.Versions)
+	stats := r.stats
 	r.mu.RUnlock()
-	return r.stats.Weights(n)
+	return stats.Weights(n)
 }
 
 // HotVersions returns the k most-accessed versions by decayed count,
 // descending.
-func (r *Repo) HotVersions(k int) []store.VersionAccess { return r.stats.TopK(k) }
+func (r *Repo) HotVersions(k int) []store.VersionAccess {
+	r.mu.RLock()
+	stats := r.stats
+	r.mu.RUnlock()
+	return stats.TopK(k)
+}
 
 // WeightedPhi estimates the recreation cost the *current workload*
 // experiences against the *current layout*: the access-weighted mean of
@@ -906,7 +943,8 @@ type OptimizeOptions struct {
 	NoAutoWeights bool
 	// Progress, when non-nil, receives coarse phase names as the
 	// optimization advances ("snapshot", "diff", "solve", "rewrite",
-	// "swap", "retry"). It is called without any repository lock held and
+	// "warm" — only when a cache is configured — "swap", "retry"). It is
+	// called without any repository lock held and
 	// must be safe for use from the optimizing goroutine.
 	Progress func(phase string)
 }
@@ -985,8 +1023,9 @@ func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOpt
 // dispatches the resolved solve.Request through the solver registry, and
 // materializes a shadow layout into the backend. Finally it reacquires the
 // write lock just long enough to verify no commits landed since the
-// snapshot and swap the layout pointer; the checkout cache restarts empty
-// at its configured capacity. If commits did land mid-solve the attempt is
+// snapshot and swap the layout pointer; the fresh checkout cache is warmed
+// off-lock beforehand with the access telemetry's hottest versions, so the
+// flip does not cold-start the serving path. If commits did land mid-solve the attempt is
 // discarded and the whole pipeline re-runs from a fresh snapshot, up to
 // ConflictRetries times, after which ErrOptimizeConflict is returned.
 //
@@ -997,6 +1036,9 @@ func solveRequest(inst *solve.Instance, versions []VersionInfo, opts OptimizeOpt
 // served layout is never left half-swapped — shadow blobs already written
 // to the content-addressed backend are simply unreferenced.
 func (r *Repo) Optimize(ctx context.Context, opts OptimizeOptions) (*solve.Result, error) {
+	if err := r.writable(); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -1034,6 +1076,11 @@ func (r *Repo) Optimize(ctx context.Context, opts OptimizeOptions) (*solve.Resul
 // attempts that lost to concurrent commits (whether or not a retry later
 // succeeded).
 func (r *Repo) OptimizeConflicts() int64 { return r.optConflicts.Load() }
+
+// warmTopK bounds how many of the telemetry's hottest versions the
+// post-solve cache warmer pre-materializes: enough to cover a skewed hot
+// set, small enough that warming never dominates the optimize pipeline.
+const warmTopK = 64
 
 // optimizeOnce runs one snapshot → solve → swap attempt; the caller holds
 // optMu.
@@ -1117,6 +1164,40 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 	}
 	newLayout := store.NewLayoutFromEntries(r.backend, built.Entries)
 
+	// Phase 2.5 — warm the shadow cache, still off every lock. A fresh
+	// layout used to start cold, so the first post-swap checkout of every
+	// hot version paid a full chain replay right when traffic was hottest.
+	// Instead, install the cache on the shadow layout now and pre-checkout
+	// the access telemetry's top-k through the serving path's own bounded
+	// worker pool, so the flip lands with the hot set already resident.
+	// Cache config is snapshotted here and re-checked at swap time; a
+	// concurrent EnableCache* simply discards the warmed cache for a fresh
+	// one per the new config (no worse than the old cold start).
+	r.mu.RLock()
+	cacheSize, cacheBytes := r.cacheSize, r.cacheBytes
+	negTTL, negTTLSet := r.negTTL, r.negTTLSet
+	stats := r.stats
+	r.mu.RUnlock()
+	if cacheSize > 0 || cacheBytes > 0 {
+		progress("warm")
+		if cacheBytes > 0 {
+			newLayout.SetCache(store.NewVersionCacheBytes(cacheBytes))
+		} else {
+			newLayout.SetCache(store.NewVersionCache(cacheSize))
+		}
+		hot := stats.TopK(warmTopK)
+		warm := make([]int, 0, len(hot))
+		for _, h := range hot {
+			if h.Version < n {
+				warm = append(warm, h.Version)
+			}
+		}
+		newLayout.WarmCache(ctx, warm)
+	}
+	if negTTLSet {
+		newLayout.SetNegativeTTL(negTTL)
+	}
+
 	// Phase 3 — swap under a brief write lock, but only if the snapshot is
 	// still current. Version ids are append-only indices, so an unchanged
 	// count means an unchanged graph.
@@ -1127,8 +1208,10 @@ func (r *Repo) optimizeOnce(ctx context.Context, opts OptimizeOptions, progress 
 		return nil, fmt.Errorf("repo: optimize: %d versions committed during solve: %w",
 			len(r.meta.Versions)-n, ErrOptimizeConflict)
 	}
-	newLayout.SetCache(r.newCacheLocked())
-	if r.negTTLSet {
+	if r.cacheSize != cacheSize || r.cacheBytes != cacheBytes {
+		newLayout.SetCache(r.newCacheLocked())
+	}
+	if r.negTTLSet && (!negTTLSet || r.negTTL != negTTL) {
 		newLayout.SetNegativeTTL(r.negTTL)
 	}
 	oldLayout := r.layout

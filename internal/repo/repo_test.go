@@ -275,20 +275,18 @@ func TestCacheSurvivesOptimize(t *testing.T) {
 	if _, err := r.Optimize(context.Background(), OptimizeOptions{Objective: MinStorageObjective, RevealHops: 4}); err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
-	// The rebuilt layout starts with a fresh cache of the same capacity:
-	// first checkout misses, second hits, and content stays intact.
-	hits0, _ := r.CacheStats()
-	if hits0 != 0 {
-		t.Errorf("cache stats carried across optimize: %d hits", hits0)
-	}
+	// The rebuilt layout gets a fresh cache of the same capacity, warmed
+	// with the telemetry's hot set before the flip: checkouts after the
+	// swap hit the cache, and content stays intact.
+	preHits, _ := r.CacheStats()
 	for i := 0; i < 2; i++ {
 		got, err := r.Checkout(last)
 		if err != nil || !bytes.Equal(got, payloads[last]) {
 			t.Fatalf("Checkout after optimize: %v", err)
 		}
 	}
-	if hits, _ := r.CacheStats(); hits == 0 {
-		t.Errorf("cache disabled after optimize")
+	if hits, _ := r.CacheStats(); hits <= preHits {
+		t.Errorf("cache disabled after optimize: hits %d → %d", preHits, hits)
 	}
 }
 

@@ -74,7 +74,10 @@ func TestServingTelemetry(t *testing.T) {
 		t.Errorf("Stats.CacheBudgetBytes = %d, want %d", st.CacheBudgetBytes, 1<<20)
 	}
 
-	// A swap retires the layout; the counter must not go backwards.
+	// A swap retires the layout; the counter must not go backwards. The
+	// warmer pre-materializes the telemetry's hot set before the flip, so
+	// version 5's first post-swap checkout is already a cache hit and adds
+	// no serving-path blob reads.
 	if _, err := r.Optimize(context.Background(), OptimizeOptions{
 		Request: solve.Request{Solver: "mst"},
 	}); err != nil {
@@ -84,11 +87,11 @@ func TestServingTelemetry(t *testing.T) {
 		t.Errorf("BlobReads went backwards across swap: %d → %d", cold, got)
 	}
 	before := r.BlobReads()
-	if _, err := r.Checkout(2); err != nil {
+	if _, err := r.Checkout(5); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.BlobReads(); got <= before {
-		t.Errorf("cold checkout against fresh layout added no blob reads (%d → %d)", before, got)
+	if got := r.BlobReads(); got != before {
+		t.Errorf("warmed hot version paid serving-path blob reads after swap (%d → %d)", before, got)
 	}
 }
 

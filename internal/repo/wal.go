@@ -200,23 +200,48 @@ func (r *Repo) compact() error {
 }
 
 // restore rebuilds the repository's in-memory state from a metadata-log
-// recovery: unmarshal the snapshot, then apply the record tail in order.
-// Unknown record types are skipped (forward compatibility); records that
-// contradict the accumulated state mark real corruption and fail the
-// open.
+// recovery: reset to the snapshot, then apply the record tail in order.
+// The same two primitives serve a replica's incremental replay
+// (ApplySnapshot / ApplyRecords), so recovery and replication can never
+// disagree about what a record means.
 func (r *Repo) restore(rec *metalog.Recovery) error {
+	if err := r.resetToSnapshot(rec.Snapshot); err != nil {
+		return err
+	}
+	for _, record := range rec.Records {
+		if err := r.applyRecord(record); err != nil {
+			return err
+		}
+	}
+	r.stats.SetSink(r.accessSink)
+	return nil
+}
+
+// resetToSnapshot replaces the repository's whole in-memory state with a
+// compaction snapshot (nil means empty). Callers hold the write lock or
+// have exclusive access during construction. The fresh layout is rebuilt
+// with the configured cache and negative-TTL settings (no-ops during
+// recovery, when nothing is configured yet); the retired layout's blob
+// reads fold into the running total so BlobReads stays monotonic.
+func (r *Repo) resetToSnapshot(snap []byte) error {
 	st := snapshotState{}
-	if rec.Snapshot != nil {
-		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
+	if snap != nil {
+		if err := json.Unmarshal(snap, &st); err != nil {
 			return fmt.Errorf("repo: restore: snapshot: %w", err)
 		}
+	}
+	if len(st.Entries) != len(st.Meta.Versions) {
+		return fmt.Errorf("repo: restore: %d layout entries for %d versions", len(st.Entries), len(st.Meta.Versions))
 	}
 	if st.Meta.Branches == nil {
 		st.Meta.Branches = map[string]int{}
 	}
 	r.meta = st.Meta
-	entries := st.Entries
 	r.stats = store.LoadAccessStatsData(st.Access)
+	r.jobMu.Lock()
+	r.jobsOutstanding = map[string]string{}
+	r.jobsOrder = nil
+	r.jobsRunning = map[string]bool{}
 	for _, j := range st.Jobs {
 		r.jobsOutstanding[j.ID] = j.Spec
 		r.jobsOrder = append(r.jobsOrder, j.ID)
@@ -224,74 +249,109 @@ func (r *Repo) restore(rec *metalog.Recovery) error {
 	for _, id := range st.Running {
 		r.jobsRunning[id] = true
 	}
+	r.jobMu.Unlock()
+	r.installLayout(store.NewLayoutFromEntries(r.backend, st.Entries))
+	return nil
+}
 
-	for _, record := range rec.Records {
-		switch record.Type {
-		case recCommit:
-			var cr commitRecord
-			if err := json.Unmarshal(record.Data, &cr); err != nil {
-				return fmt.Errorf("repo: restore: commit record seq %d: %w", record.Seq, err)
-			}
-			if cr.Version.ID != len(r.meta.Versions) {
-				return fmt.Errorf("repo: restore: commit record seq %d: version %d after %d versions",
-					record.Seq, cr.Version.ID, len(r.meta.Versions))
-			}
-			r.meta.Versions = append(r.meta.Versions, cr.Version)
-			r.meta.Branches[cr.Version.Branch] = cr.Version.ID
-			entries = append(entries, cr.Entry)
-		case recBranch:
-			var br branchRecord
-			if err := json.Unmarshal(record.Data, &br); err != nil {
-				return fmt.Errorf("repo: restore: branch record seq %d: %w", record.Seq, err)
-			}
-			r.meta.Branches[br.Name] = br.From
-		case recLayoutSwap:
-			var sr layoutSwapRecord
-			if err := json.Unmarshal(record.Data, &sr); err != nil {
-				return fmt.Errorf("repo: restore: swap record seq %d: %w", record.Seq, err)
-			}
-			entries = sr.Entries
-		case recAccess:
-			r.stats.ApplyDelta(record.Data)
-		case recHash:
-			var hr hashRecord
-			if err := json.Unmarshal(record.Data, &hr); err != nil {
-				return fmt.Errorf("repo: restore: hash record seq %d: %w", record.Seq, err)
-			}
-			if hr.ID >= 0 && hr.ID < len(r.meta.Versions) {
-				r.meta.Versions[hr.ID].Hash = hr.Hash
-			}
-		case recJobSubmitted:
-			var jr jobRecord
-			if err := json.Unmarshal(record.Data, &jr); err != nil {
-				return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
-			}
-			if _, ok := r.jobsOutstanding[jr.ID]; !ok {
-				r.jobsOrder = append(r.jobsOrder, jr.ID)
-			}
-			r.jobsOutstanding[jr.ID] = jr.Spec
-		case recJobStarted:
-			var jr jobRecord
-			if err := json.Unmarshal(record.Data, &jr); err != nil {
-				return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
-			}
-			r.jobsRunning[jr.ID] = true
-		case recJobFinished:
-			var jr jobRecord
-			if err := json.Unmarshal(record.Data, &jr); err != nil {
-				return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
-			}
-			r.dropJob(jr.ID)
-		default:
-			// Newer record type than this binary knows: skip, don't fail —
-			// the log is append-only and forward-compatible by design.
+// installLayout swaps the served layout pointer, re-applying the cache
+// and negative-TTL configuration and folding the retired layout's I/O
+// counter. Callers hold the write lock or have exclusive access.
+func (r *Repo) installLayout(l *store.Layout) {
+	// Cache construction is inlined (not newCacheLocked): restore runs
+	// with exclusive access before the repository is published, so there
+	// is no mu to hold.
+	if r.cacheBytes > 0 {
+		l.SetCache(store.NewVersionCacheBytes(r.cacheBytes))
+	} else if r.cacheSize > 0 {
+		l.SetCache(store.NewVersionCache(r.cacheSize))
+	}
+	if r.negTTLSet {
+		l.SetNegativeTTL(r.negTTL)
+	}
+	if old := r.layout; old != nil {
+		r.retiredBlobReads.Add(old.BlobReads())
+	}
+	r.layout = l
+}
+
+// applyRecord folds one metadata-log record into the live state — the
+// single definition of what each record type means, shared by startup
+// recovery and replica replay. Callers hold the write lock or have
+// exclusive access. Unknown record types are skipped (forward
+// compatibility); records that contradict the accumulated state mark real
+// corruption and fail the replay.
+func (r *Repo) applyRecord(record metalog.Record) error {
+	switch record.Type {
+	case recCommit:
+		var cr commitRecord
+		if err := json.Unmarshal(record.Data, &cr); err != nil {
+			return fmt.Errorf("repo: restore: commit record seq %d: %w", record.Seq, err)
 		}
+		if cr.Version.ID != len(r.meta.Versions) {
+			return fmt.Errorf("repo: restore: commit record seq %d: version %d after %d versions",
+				record.Seq, cr.Version.ID, len(r.meta.Versions))
+		}
+		r.meta.Versions = append(r.meta.Versions, cr.Version)
+		r.meta.Branches[cr.Version.Branch] = cr.Version.ID
+		r.layout.Entries = append(r.layout.Entries, cr.Entry)
+	case recBranch:
+		var br branchRecord
+		if err := json.Unmarshal(record.Data, &br); err != nil {
+			return fmt.Errorf("repo: restore: branch record seq %d: %w", record.Seq, err)
+		}
+		r.meta.Branches[br.Name] = br.From
+	case recLayoutSwap:
+		var sr layoutSwapRecord
+		if err := json.Unmarshal(record.Data, &sr); err != nil {
+			return fmt.Errorf("repo: restore: swap record seq %d: %w", record.Seq, err)
+		}
+		if len(sr.Entries) != len(r.meta.Versions) {
+			return fmt.Errorf("repo: restore: swap record seq %d: %d entries for %d versions",
+				record.Seq, len(sr.Entries), len(r.meta.Versions))
+		}
+		r.installLayout(store.NewLayoutFromEntries(r.backend, sr.Entries))
+	case recAccess:
+		r.stats.ApplyDelta(record.Data)
+	case recHash:
+		var hr hashRecord
+		if err := json.Unmarshal(record.Data, &hr); err != nil {
+			return fmt.Errorf("repo: restore: hash record seq %d: %w", record.Seq, err)
+		}
+		if hr.ID >= 0 && hr.ID < len(r.meta.Versions) {
+			r.meta.Versions[hr.ID].Hash = hr.Hash
+		}
+	case recJobSubmitted:
+		var jr jobRecord
+		if err := json.Unmarshal(record.Data, &jr); err != nil {
+			return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
+		}
+		r.jobMu.Lock()
+		if _, ok := r.jobsOutstanding[jr.ID]; !ok {
+			r.jobsOrder = append(r.jobsOrder, jr.ID)
+		}
+		r.jobsOutstanding[jr.ID] = jr.Spec
+		r.jobMu.Unlock()
+	case recJobStarted:
+		var jr jobRecord
+		if err := json.Unmarshal(record.Data, &jr); err != nil {
+			return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
+		}
+		r.jobMu.Lock()
+		r.jobsRunning[jr.ID] = true
+		r.jobMu.Unlock()
+	case recJobFinished:
+		var jr jobRecord
+		if err := json.Unmarshal(record.Data, &jr); err != nil {
+			return fmt.Errorf("repo: restore: job record seq %d: %w", record.Seq, err)
+		}
+		r.jobMu.Lock()
+		r.dropJob(jr.ID)
+		r.jobMu.Unlock()
+	default:
+		// Newer record type than this binary knows: skip, don't fail —
+		// the log is append-only and forward-compatible by design.
 	}
-	if len(entries) != len(r.meta.Versions) {
-		return fmt.Errorf("repo: restore: %d layout entries for %d versions", len(entries), len(r.meta.Versions))
-	}
-	r.layout = store.NewLayoutFromEntries(r.backend, entries)
-	r.stats.SetSink(r.accessSink)
 	return nil
 }
 
@@ -417,6 +477,9 @@ type GCResult struct {
 // Call GC only when no checkout stream opened before the last Optimize is
 // still draining: a retired layout's chain blobs look like orphans.
 func (r *Repo) GC() (GCResult, error) {
+	if err := r.writable(); err != nil {
+		return GCResult{}, err
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	live := make(map[store.ID]bool, len(r.layout.Entries))

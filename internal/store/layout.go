@@ -600,6 +600,75 @@ func (l *Layout) ChainCosts() (work []int64, hops []int) {
 	return m.work, m.hops
 }
 
+// ChainRoot resolves v to the materialized version anchoring its delta
+// chain. Every version on one chain shares a root, which makes the root a
+// natural affinity key: route all of a chain's versions to one replica and
+// that replica's cache holds the whole chain prefix instead of every
+// replica paying for a partial copy. A corrupt chain (cycle or
+// out-of-range parent) is an error rather than an infinite walk.
+func (l *Layout) ChainRoot(v int) (int, error) {
+	if v < 0 || v >= len(l.Entries) {
+		return 0, fmt.Errorf("store: chain root: version %d out of range [0,%d)", v, len(l.Entries))
+	}
+	for hops := 0; hops <= len(l.Entries); hops++ {
+		e := l.Entries[v]
+		if e.Materialized {
+			return v, nil
+		}
+		if e.Parent < 0 || e.Parent >= len(l.Entries) {
+			return 0, fmt.Errorf("store: chain root: version %d chains to %d out of range", v, e.Parent)
+		}
+		v = e.Parent
+	}
+	return 0, fmt.Errorf("store: chain root: delta chain cycle at version %d", v)
+}
+
+// WarmCache materializes the given versions through the serving path so
+// their payloads are cache-resident before traffic arrives — used after an
+// Optimize swap to seed the fresh layout's cache from access telemetry,
+// and by replicas at startup. Work fans out over the same bounded pool as
+// CheckoutAll. Warming is best-effort: a version that fails to materialize
+// is skipped (the serving path will report the error to a real reader),
+// and cancellation simply stops early. With no cache installed it is a
+// no-op.
+func (l *Layout) WarmCache(ctx context.Context, versions []int) {
+	if l.cache == nil || len(versions) == 0 {
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := checkoutAllWorkers(); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case v, ok := <-work:
+					if !ok {
+						return
+					}
+					_, _ = l.Checkout(v)
+				}
+			}
+		}()
+	}
+	for _, v := range versions {
+		if v < 0 || v >= len(l.Entries) {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+		case work <- v:
+			continue
+		}
+		break
+	}
+	close(work)
+	wg.Wait()
+}
+
 // StoredBytes sums the physical footprint of all entries.
 func (l *Layout) StoredBytes() int64 {
 	var total int64

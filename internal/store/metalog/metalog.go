@@ -23,6 +23,7 @@
 package metalog
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -120,8 +121,12 @@ type Log struct {
 	snap string // snapshot document name
 
 	seq     uint64 // last assigned sequence number
+	base    uint64 // sequence the snapshot covers (0 = no snapshot)
 	size    int64  // current device size (logical end)
 	records int64  // records since last compaction
+	// notify is closed (and replaced lazily) on every successful Append,
+	// waking long-poll Tail readers; nil until a reader subscribes.
+	notify chan struct{}
 
 	appends     atomic.Int64
 	compactions atomic.Int64
@@ -168,6 +173,7 @@ func Open(ms store.MetaStore, ls store.LogStore, name string) (*Log, *Recovery, 
 	}
 	rec.Records = records
 	l.size = validEnd
+	l.base = baseSeq
 	l.seq = baseSeq
 	l.records = int64(len(records))
 	l.replayed.Store(int64(len(records)))
@@ -260,6 +266,10 @@ func (l *Log) Append(t Type, data []byte) error {
 	l.size += int64(len(buf))
 	l.records++
 	l.appends.Add(1)
+	if l.notify != nil {
+		close(l.notify)
+		l.notify = nil
+	}
 	return nil
 }
 
@@ -283,8 +293,111 @@ func (l *Log) Compact(state []byte) error {
 	}
 	l.size = 0
 	l.records = 0
+	l.base = l.seq
 	l.compactions.Add(1)
 	return nil
+}
+
+// TailView is one follow-the-tail read: the log's state past a reader's
+// cursor, as returned by ReadFrom and Tail. Sequence numbers are the
+// cursor currency — they are assigned monotonically and never reset, not
+// even by compaction, so a replica's "last applied sequence" stays a valid
+// cursor across the primary's whole lifetime.
+type TailView struct {
+	// BaseSeq is the sequence the current snapshot covers (0 when the log
+	// has never been compacted).
+	BaseSeq uint64
+	// Snapshot is the compaction snapshot's state blob, present only when
+	// the reader's cursor fell behind BaseSeq — the records it missed were
+	// compacted away, so it must reset to the snapshot before applying
+	// Records. nil when the cursor is still inside the live tail.
+	Snapshot []byte
+	// Records are the whole records with sequence numbers past the cursor
+	// (past BaseSeq when Snapshot is present), in append order. A torn or
+	// failed append is never included: the scan is clipped to the log's
+	// logical end, which only advances after a durable whole-record write.
+	Records []Record
+	// Head is the last assigned sequence number — the reader's lag is
+	// Head minus its applied sequence.
+	Head uint64
+}
+
+// ReadFrom returns every whole record with a sequence past from, plus the
+// compaction snapshot when from predates it (the skipped records no longer
+// exist; the reader must reset to the snapshot first). The scan is clipped
+// to the log's logical end, so a torn tail left by a crashed append — or
+// the torn bytes of an Append that returned an error — are never served to
+// a follower.
+func (l *Log) ReadFrom(from uint64) (*TailView, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readFromLocked(from)
+}
+
+func (l *Log) readFromLocked(from uint64) (*TailView, error) {
+	view := &TailView{BaseSeq: l.base, Head: l.seq}
+	if from < l.base {
+		data, err := l.ms.GetMeta(l.snap)
+		if err != nil {
+			return nil, fmt.Errorf("metalog: read from %d: snapshot %s: %w", from, l.snap, err)
+		}
+		var doc snapshotDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("metalog: read from %d: snapshot %s: %w", from, l.snap, err)
+		}
+		view.Snapshot = doc.Data
+		from = l.base
+	}
+	raw, err := l.dev.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metalog: read from %d: %w", from, err)
+	}
+	if int64(len(raw)) > l.size {
+		// Bytes past the logical end are a failed append's torn frame;
+		// serving them would hand a follower a record the primary never
+		// acknowledged.
+		raw = raw[:l.size]
+	}
+	view.Records, _, _ = Scan(raw, from)
+	return view, nil
+}
+
+// Tail is the long-poll form of ReadFrom: when the reader is already
+// caught up it blocks until a new record is appended or ctx is done, then
+// answers. A ctx expiry returns the (empty) view, not an error — a
+// long-poll timeout is a normal "nothing yet" answer the follower simply
+// re-issues.
+func (l *Log) Tail(ctx context.Context, from uint64) (*TailView, error) {
+	for {
+		// Subscribe before reading: an append that lands between the read
+		// and the wait closes the channel we already hold, so it cannot be
+		// missed.
+		l.mu.Lock()
+		if l.notify == nil {
+			l.notify = make(chan struct{})
+		}
+		wake := l.notify
+		view, err := l.readFromLocked(from)
+		l.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if view.Snapshot != nil || len(view.Records) > 0 {
+			return view, nil
+		}
+		select {
+		case <-ctx.Done():
+			return view, nil
+		case <-wake:
+		}
+	}
+}
+
+// Head returns the last assigned sequence number.
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
 }
 
 // TailRecords returns the number of records appended since the last

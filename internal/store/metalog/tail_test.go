@@ -1,0 +1,217 @@
+package metalog
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"versiondb/internal/store"
+	"versiondb/internal/store/faultfs"
+)
+
+// TestReadFromTailAndHead: ReadFrom returns exactly the records past the
+// cursor, Head tracks the last appended sequence, and a cursor at the head
+// yields an empty view.
+func TestReadFromTailAndHead(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	want := appendN(t, l, 0, 8)
+	if got := l.Head(); got != 8 {
+		t.Fatalf("Head = %d, want 8", got)
+	}
+
+	view, err := l.ReadFrom(0)
+	if err != nil {
+		t.Fatalf("ReadFrom(0): %v", err)
+	}
+	if view.Snapshot != nil {
+		t.Fatalf("uncompacted log served a snapshot")
+	}
+	if len(view.Records) != len(want) || view.Head != 8 {
+		t.Fatalf("ReadFrom(0) = %d records head %d, want %d head 8", len(view.Records), view.Head, len(want))
+	}
+
+	view, err = l.ReadFrom(5)
+	if err != nil {
+		t.Fatalf("ReadFrom(5): %v", err)
+	}
+	if len(view.Records) != 3 || view.Records[0].Seq != 6 {
+		t.Fatalf("ReadFrom(5) = %d records first seq %v, want 3 records from seq 6",
+			len(view.Records), view.Records)
+	}
+
+	view, err = l.ReadFrom(8)
+	if err != nil {
+		t.Fatalf("ReadFrom(8): %v", err)
+	}
+	if view.Snapshot != nil || len(view.Records) != 0 || view.Head != 8 {
+		t.Fatalf("caught-up ReadFrom returned %+v", view)
+	}
+}
+
+// TestReadFromAcrossCompaction: a cursor that predates the latest
+// compaction gets the snapshot plus the records after it; a cursor inside
+// the live tail gets records only.
+func TestReadFromAcrossCompaction(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 5)
+	state := []byte(`{"compacted":true}`)
+	if err := l.Compact(state); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	appendN(t, l, 5, 3)
+
+	// Cursor 2 predates the compaction covering seq 5: snapshot + tail.
+	view, err := l.ReadFrom(2)
+	if err != nil {
+		t.Fatalf("ReadFrom(2): %v", err)
+	}
+	if view.Snapshot == nil || view.BaseSeq != 5 {
+		t.Fatalf("stale cursor got no snapshot (base %d): %+v", view.BaseSeq, view)
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(mustMeta(t, ms, l.snap), &doc); err != nil {
+		t.Fatalf("snapshot doc: %v", err)
+	}
+	if string(view.Snapshot) != string(state) {
+		t.Fatalf("snapshot = %q, want %q", view.Snapshot, state)
+	}
+	if len(view.Records) != 3 || view.Records[0].Seq != 6 {
+		t.Fatalf("post-snapshot records = %+v, want 3 from seq 6", view.Records)
+	}
+
+	// Cursor 6 is inside the live tail: records only.
+	view, err = l.ReadFrom(6)
+	if err != nil {
+		t.Fatalf("ReadFrom(6): %v", err)
+	}
+	if view.Snapshot != nil || len(view.Records) != 2 {
+		t.Fatalf("live-tail cursor = %+v, want 2 records and no snapshot", view)
+	}
+}
+
+func mustMeta(t *testing.T, ms store.MetaStore, name string) []byte {
+	t.Helper()
+	data, err := ms.GetMeta(name)
+	if err != nil {
+		t.Fatalf("GetMeta(%s): %v", name, err)
+	}
+	return data
+}
+
+// TestTailLongPoll: a caught-up Tail blocks until the next append wakes
+// it, and a context expiry returns an empty view (the normal "nothing
+// yet" answer), never an error.
+func TestTailLongPoll(t *testing.T) {
+	ms := store.NewMemStore()
+	l, _, err := Open(ms, ms, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 2)
+
+	type result struct {
+		view *TailView
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		view, err := l.Tail(context.Background(), 2)
+		done <- result{view, err}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("Tail returned before append: %+v, %v", r.view, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := l.Append(1, []byte("wake")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("Tail: %v", r.err)
+		}
+		if len(r.view.Records) != 1 || string(r.view.Records[0].Data) != "wake" {
+			t.Fatalf("Tail woke with %+v, want the appended record", r.view)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Tail did not wake on append")
+	}
+
+	// Expired context: empty view, nil error.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	view, err := l.Tail(ctx, l.Head())
+	if err != nil {
+		t.Fatalf("Tail after ctx expiry: %v", err)
+	}
+	if view.Snapshot != nil || len(view.Records) != 0 {
+		t.Fatalf("expired Tail returned data: %+v", view)
+	}
+}
+
+// TestReadFromExcludesTornAppend: an append that tears at the device (the
+// faultfs power cut) must never be visible through ReadFrom — the torn
+// bytes sit beyond the log's durable size — and after the standard
+// reopen-repair the re-issued append is served cleanly.
+func TestReadFromExcludesTornAppend(t *testing.T) {
+	ffs := faultfs.Wrap(store.NewMemStore())
+	l, _, err := Open(ffs, ffs, "repo")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Append(1, []byte("clean")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	// Cut the power mid-frame on the next append.
+	ffs.SetCrashAfter(int64(headerSize))
+	if err := l.Append(2, []byte("torn-record")); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	ffs.Disarm()
+
+	view, err := l.ReadFrom(0)
+	if err != nil {
+		t.Fatalf("ReadFrom after torn append: %v", err)
+	}
+	if len(view.Records) != 1 || string(view.Records[0].Data) != "clean" {
+		t.Fatalf("torn bytes leaked into the tail: %+v", view.Records)
+	}
+	if view.Head != 1 {
+		t.Fatalf("Head advanced past the torn append: %d", view.Head)
+	}
+	l.Close()
+
+	// Reopen repairs the torn tail; the completed append then serves.
+	l2, rec, err := Open(ffs, ffs, "repo")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if !rec.Torn {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if err := l2.Append(2, []byte("completed")); err != nil {
+		t.Fatalf("re-append: %v", err)
+	}
+	view, err = l2.ReadFrom(1)
+	if err != nil {
+		t.Fatalf("ReadFrom after repair: %v", err)
+	}
+	if len(view.Records) != 1 || string(view.Records[0].Data) != "completed" {
+		t.Fatalf("repaired tail = %+v, want the completed record", view.Records)
+	}
+}

@@ -2,6 +2,7 @@ package vcs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -102,6 +103,31 @@ func (c *Client) Log() ([]repo.VersionInfo, error) {
 		return nil, err
 	}
 	return resp.Versions, nil
+}
+
+// LogTail fetches the primary's metadata-log tail past sequence from —
+// the follower side of GET /log?from=. With wait set the server long-polls
+// (an empty tail after the poll timeout is a normal answer); ctx bounds
+// the whole request, so a canceled follower returns promptly.
+func (c *Client) LogTail(ctx context.Context, from uint64, wait bool) (*LogTailResponse, error) {
+	path := fmt.Sprintf("/log?from=%d", from)
+	if wait {
+		path += "&wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("vcs: log tail: %w", err)
+	}
+	httpResp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("vcs: %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	var resp LogTailResponse
+	if err := decodeResponse(path, httpResp, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Optimize triggers a server-side storage re-layout and blocks until it

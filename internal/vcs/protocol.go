@@ -51,6 +51,30 @@ type LogResponse struct {
 	Versions []repo.VersionInfo `json:"versions"`
 }
 
+// LogRecord is one framed metadata-log record on the wire: the sequence
+// number, record type byte, and opaque payload exactly as the primary's
+// log holds them. Replicas re-apply records by type without interpreting
+// them here.
+type LogRecord struct {
+	Seq  uint64 `json:"seq"`
+	Type byte   `json:"type"`
+	Data []byte `json:"data"` // encoding/json base64-encodes []byte
+}
+
+// LogTailResponse answers GET /log?from=N: the metadata-log tail past the
+// follower's cursor. When the cursor predates the latest compaction the
+// response leads with the compaction snapshot (base64 document covering
+// everything through BaseSeq) and the records that follow it; otherwise
+// Snapshot is absent and Records continue the follower's own history.
+// Head is the primary's current last sequence number — a caught-up
+// follower sees Head equal to its cursor and an empty Records list.
+type LogTailResponse struct {
+	BaseSeq  uint64      `json:"base_seq"`
+	Snapshot []byte      `json:"snapshot,omitempty"`
+	Records  []LogRecord `json:"records,omitempty"`
+	Head     uint64      `json:"head"`
+}
+
 // OptimizeRequest triggers a global storage re-layout. Solver selects a
 // registry solver by name ("mst", "spt", "lmg", "mp", "last", "gith",
 // "exact", "p4", "p5") with its knobs; the legacy Objective strings remain
@@ -197,6 +221,20 @@ type StatsResponse struct {
 	// Absent when the server runs on a local backend — and absent from
 	// servers predating the remote tier, which clients must tolerate.
 	Remote *RemoteTierStats `json:"remote,omitempty"`
+	// Replica reports the replay cursor of a read-only replica — how far
+	// behind the primary this server is allowed to answer. Absent on the
+	// primary.
+	Replica *ReplicaStats `json:"replica,omitempty"`
+}
+
+// ReplicaStats is a replica's staleness report: the last metadata-log
+// sequence it applied, how many records the primary is ahead (-1 when the
+// primary could not be reached for a head probe), and when the replica
+// last applied a batch (Unix seconds, 0 before the first apply).
+type ReplicaStats struct {
+	AppliedOffset uint64 `json:"applied_offset"`
+	LagRecords    int64  `json:"lag_records"`
+	LastApplyUnix int64  `json:"last_apply_unix"`
 }
 
 // RemoteTierStats is the wire form of store.TierStats: the remote tier's

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"versiondb/internal/autotune"
 	"versiondb/internal/jobs"
@@ -38,14 +39,18 @@ type Server struct {
 	// in the background; tunerStop ends its loop before jobs are closed.
 	tuner     *autotune.Engine
 	tunerStop context.CancelFunc
+	// replicaStatus, when non-nil on a replica server, reports the
+	// follower's staleness for GET /stats (see WithReplicaStatus).
+	replicaStatus func() (applied uint64, lag int64, lastApply time.Time)
 }
 
 // ServerOption configures NewServer.
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	jobWorkers int
-	autotune   *autotune.Policy
+	jobWorkers    int
+	autotune      *autotune.Policy
+	replicaStatus func() (applied uint64, lag int64, lastApply time.Time)
 }
 
 // WithJobWorkers bounds how many background optimize jobs run at once
@@ -58,8 +63,18 @@ func WithJobWorkers(n int) ServerOption {
 // server: commit-count and Φ-drift triggers submit background re-layouts
 // through the server's own job manager (so they show up in GET /jobs), and
 // GET /stats reports the engine's state. The engine stops with Close.
+// Ignored on replica servers — re-layouts belong to the primary.
 func WithAutotune(p autotune.Policy) ServerOption {
 	return func(c *serverConfig) { c.autotune = &p }
+}
+
+// WithReplicaStatus supplies the follower's live staleness report for a
+// replica server's GET /stats: applied sequence, records behind the
+// primary (-1 when the primary is unreachable), and last apply time.
+// Without it a replica server falls back to the repository's own cursor
+// and reports lag -1 (unknown).
+func WithReplicaStatus(fn func() (applied uint64, lag int64, lastApply time.Time)) ServerOption {
+	return func(c *serverConfig) { c.replicaStatus = fn }
 }
 
 // NewServer wraps a repository. Call Close when done to cancel any
@@ -70,7 +85,13 @@ func NewServer(r *repo.Repo, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Server{repo: r, jobs: jobs.NewManager(cfg.jobWorkers)}
+	s := &Server{repo: r, jobs: jobs.NewManager(cfg.jobWorkers), replicaStatus: cfg.replicaStatus}
+	if r.IsReplica() {
+		// Replicas never journal, recover, or auto-submit optimize jobs —
+		// every mutating path belongs to the primary. The job manager
+		// stays constructed so the /jobs read endpoints answer (empty).
+		return s
+	}
 	// The repository's metadata log doubles as the job journal, making
 	// queued and running jobs durable across restarts; recovery must run
 	// before autotune so adopted ids are claimed first.
@@ -173,14 +194,17 @@ const StatusClientClosedRequest = 499
 // missing versions, branches and job ids are 404, malformed optimize
 // requests (unknown solver name, invalid knobs) are 400, conflicts
 // (duplicate branch, empty repo, infeasible bound, a copy-on-write swap
-// that kept losing to concurrent commits) are 409, cancellations — whether
-// from a client disconnect or a server-side DELETE /jobs/{id} — are 499,
-// and only genuinely unexpected faults fall through to 500.
+// that kept losing to concurrent commits) are 409, writes against a
+// read-only replica are 403, cancellations — whether from a client
+// disconnect or a server-side DELETE /jobs/{id} — are 499, and only
+// genuinely unexpected faults fall through to 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, repo.ErrUnknownVersion), errors.Is(err, repo.ErrUnknownBranch),
-		errors.Is(err, jobs.ErrUnknownJob):
+		errors.Is(err, jobs.ErrUnknownJob), errors.Is(err, repo.ErrNoMetaLog):
 		return http.StatusNotFound
+	case errors.Is(err, repo.ErrReplica):
+		return http.StatusForbidden
 	case errors.Is(err, solve.ErrUnknownSolver), errors.Is(err, solve.ErrInvalidRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, repo.ErrBranchExists), errors.Is(err, repo.ErrEmptyRepo),
@@ -245,9 +269,44 @@ func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
-	log := s.repo.Log()
-	writeJSON(w, http.StatusOK, LogResponse{Versions: log})
+// logPollTimeout bounds how long GET /log?from=N&wait=1 blocks for new
+// records before answering with an empty tail. Long-polling followers
+// simply re-issue the request; the bound keeps a silent primary from
+// pinning connections forever.
+const logPollTimeout = 10 * time.Second
+
+// handleLog serves two reads behind one path: without ?from it is the
+// human-facing version history (the original /log), and with ?from=N it is
+// the replication feed — the metadata-log tail past sequence N, optionally
+// long-polled with ?wait=1 (the request blocks until the next append or
+// the poll timeout; an empty tail is the normal "caught up" answer, not an
+// error).
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	if !r.URL.Query().Has("from") {
+		writeJSON(w, http.StatusOK, LogResponse{Versions: s.repo.Log()})
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
+		return
+	}
+	ctx := r.Context()
+	if boolParam(r, "wait") {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, logPollTimeout)
+		defer cancel()
+	}
+	view, err := s.repo.LogTail(ctx, from, boolParam(r, "wait"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	resp := LogTailResponse{BaseSeq: view.BaseSeq, Snapshot: view.Snapshot, Head: view.Head}
+	for _, rec := range view.Records {
+		resp.Records = append(resp.Records, LogRecord{Seq: rec.Seq, Type: byte(rec.Type), Data: rec.Data})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // optimizeOptions resolves the wire request into repository options,
@@ -513,6 +572,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.tuner != nil {
 		status := s.tuner.Status()
 		resp.Autotune = &status
+	}
+	if _, _, isReplica := s.repo.ReplicaStatus(); isReplica {
+		rs := &ReplicaStats{LagRecords: -1}
+		if s.replicaStatus != nil {
+			applied, lag, last := s.replicaStatus()
+			rs.AppliedOffset = applied
+			rs.LagRecords = lag
+			if !last.IsZero() {
+				rs.LastApplyUnix = last.Unix()
+			}
+		} else {
+			applied, last, _ := s.repo.ReplicaStatus()
+			rs.AppliedOffset = applied
+			if !last.IsZero() {
+				rs.LastApplyUnix = last.Unix()
+			}
+		}
+		resp.Replica = rs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
